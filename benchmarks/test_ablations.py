@@ -1,0 +1,50 @@
+"""Bench: the §IV design-point ablations (granularity, policy, shmem)."""
+
+import pytest
+
+from benchmarks.conftest import print_once
+from repro.experiments.ablations import (
+    run_granularity_ablation,
+    run_policy_ablation,
+    run_shared_memory_ablation,
+)
+
+
+def test_granularity_ablation(benchmark, framework):
+    overheads = benchmark(run_granularity_ablation, 1024, framework)
+    rows = "\n".join(
+        f"  {name:<12s} {seconds:12.6f} s" for name, seconds in overheads.items()
+    )
+    print_once("abl-granularity", "Offload-granularity Eq. 1 overhead (Si_1024):\n" + rows)
+    assert overheads["function"] < overheads["basic_block"] < overheads["instruction"]
+
+
+@pytest.mark.parametrize("n_atoms", [64, 1024], ids=["si64", "si1024"])
+def test_policy_ablation(benchmark, framework, n_atoms):
+    result = benchmark(run_policy_ablation, n_atoms, framework)
+    rows = "\n".join(
+        f"  {name:<12s} {seconds:10.4f} s" for name, seconds in result.totals.items()
+    )
+    print_once(
+        f"abl-policy-{n_atoms}",
+        f"Scheduling-policy totals (Si_{n_atoms}):\n" + rows,
+    )
+    assert result.cost_aware_wins
+
+
+def test_shared_memory_ablation(benchmark):
+    result = benchmark.pedantic(
+        run_shared_memory_ablation, rounds=3, iterations=1
+    )
+    print_once(
+        "abl-shmem",
+        "Shared-memory functional ablation (Si_16, 8 ranks, 4 stacks):\n"
+        f"  replicated total: {result.replicated_total_bytes/2**20:8.2f} MiB\n"
+        f"  shared-block total: {result.shared_total_bytes/2**20:6.2f} MiB "
+        f"(-{result.memory_reduction_percent:.1f} %)\n"
+        f"  inter-stack bytes, pass 1: {result.inter_stack_bytes_first_pass}\n"
+        f"  inter-stack bytes, pass 2: {result.inter_stack_bytes_second_pass} "
+        f"(arbiter filter)\n"
+        f"  locality after two passes: {result.locality_after_two_passes:.2f}",
+    )
+    assert result.filter_effective

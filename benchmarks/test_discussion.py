@@ -1,0 +1,15 @@
+"""Bench: regenerate the §VI-A discussion numbers."""
+
+from benchmarks.conftest import print_once
+from repro.experiments.discussion import run_discussion
+from repro.experiments.report import format_table
+
+
+def test_discussion_numbers(benchmark, framework):
+    numbers = benchmark(run_discussion, framework)
+    print_once(
+        "discussion",
+        format_table("§VI-A discussion numbers", numbers.comparisons()),
+    )
+    assert abs(numbers.footprint_reduction_pct - 57.8) < 0.3
+    assert abs(numbers.footprint_vs_cpu_ratio - 1.08) < 0.01

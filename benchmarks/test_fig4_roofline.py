@@ -1,0 +1,12 @@
+"""Bench: regenerate Fig. 4 (roofline of LR-TDDFT kernels)."""
+
+from benchmarks.conftest import print_once
+from repro.experiments.fig4_roofline import format_roofline, run_roofline_study
+
+
+def test_fig4_roofline(benchmark):
+    study = benchmark(run_roofline_study)
+    print_once("fig4", format_roofline(study))
+    assert study.observation_memory_bound_majority()
+    assert study.observation_kernel_split()
+    assert study.observation_size_dependence()

@@ -1,0 +1,26 @@
+"""Bench: regenerate Fig. 7 (CPU/GPU/NDFT breakdowns, small + large)."""
+
+import pytest
+
+from benchmarks.conftest import print_once
+from repro.experiments.fig7_breakdown import (
+    breakdown_comparisons,
+    format_breakdown,
+    run_breakdown,
+)
+from repro.experiments.report import format_table
+
+
+@pytest.mark.parametrize("n_atoms", [64, 1024], ids=["small_si64", "large_si1024"])
+def test_fig7_breakdown(benchmark, framework, n_atoms):
+    study = benchmark(run_breakdown, n_atoms, framework)
+    print_once(
+        f"fig7-{n_atoms}",
+        format_breakdown(study)
+        + "\n"
+        + format_table(
+            f"Fig. 7 quoted numbers, Si_{n_atoms}", breakdown_comparisons(study)
+        ),
+    )
+    assert study.speedup_vs_cpu > 1.0
+    assert study.speedup_vs_gpu > 1.0

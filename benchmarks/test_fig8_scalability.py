@@ -1,0 +1,21 @@
+"""Bench: regenerate Fig. 8 (speedup over CPU, Si_16 .. Si_2048)."""
+
+from benchmarks.conftest import print_once
+from repro.experiments.fig8_scalability import (
+    format_scalability,
+    run_scalability,
+    scalability_comparisons,
+)
+from repro.experiments.report import format_table
+
+
+def test_fig8_scalability(benchmark, framework):
+    study = benchmark(run_scalability, framework=framework)
+    print_once(
+        "fig8",
+        format_scalability(study)
+        + "\n"
+        + format_table("Fig. 8 quoted numbers", scalability_comparisons(study)),
+    )
+    assert study.is_monotone_from(start=32)
+    assert study.ndft_speedup[2048] > 4.5

@@ -1,0 +1,69 @@
+"""Microbenchmarks of the functional numpy kernels (executable substrate).
+
+Not a paper artifact, but the performance sanity layer for the functional
+implementation: times the five Fig. 1 operations on an executable Si_8
+problem, so regressions in the physics substrate are visible.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dft.basis import PlaneWaveBasis
+from repro.dft.groundstate import solve_ground_state
+from repro.dft.kernels import face_splitting_product, fft_3d, gemm, syevd
+from repro.dft.lattice import silicon_supercell
+from repro.dft.lrtddft import run_lrtddft
+from repro.dft.pseudopotential import apply_nonlocal, build_projectors
+
+
+@pytest.fixture(scope="module")
+def setup():
+    cell = silicon_supercell(8)
+    basis = PlaneWaveBasis(cell, ecut=2.0)
+    gs = solve_ground_state(cell, basis)
+    rng = np.random.default_rng(1)
+    return cell, basis, gs, rng
+
+
+def test_bench_fft_batch(benchmark, setup):
+    _cell, basis, _gs, rng = setup
+    batch = rng.normal(size=(16, *basis.fft_shape)).astype(complex)
+    benchmark(fft_3d, batch)
+
+
+def test_bench_face_splitting(benchmark, setup):
+    _cell, basis, gs, _rng = setup
+    psi_v = basis.to_grid(gs.valence_orbitals()[:8]).reshape(8, -1)
+    psi_c = basis.to_grid(gs.conduction_orbitals()[:4]).reshape(4, -1)
+    benchmark(face_splitting_product, psi_v, psi_c)
+
+
+def test_bench_gemm(benchmark, setup):
+    _cell, _basis, _gs, rng = setup
+    a = rng.normal(size=(64, 2048)).astype(complex)
+    benchmark(gemm, a.conj(), a.T)
+
+
+def test_bench_syevd(benchmark, setup):
+    _cell, _basis, _gs, rng = setup
+    m = rng.normal(size=(128, 128)) + 1j * rng.normal(size=(128, 128))
+    h = m + m.conj().T
+    benchmark(syevd, h)
+
+
+def test_bench_pseudopotential_apply(benchmark, setup):
+    cell, basis, _gs, rng = setup
+    blocks = build_projectors(cell, basis)
+    psi = rng.normal(size=(16, basis.n_pw)).astype(complex)
+    benchmark(apply_nonlocal, blocks, psi)
+
+
+def test_bench_lrtddft_end_to_end(benchmark, setup):
+    _cell, _basis, gs, _rng = setup
+    result = benchmark.pedantic(
+        run_lrtddft,
+        kwargs=dict(ground_state=gs, n_active_valence=4, n_active_conduction=4),
+        rounds=3,
+        iterations=1,
+    )
+    assert result.excitation_energies[0] > 0

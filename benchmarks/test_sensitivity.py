@@ -1,0 +1,28 @@
+"""Bench: design-space sensitivity sweeps (extension beyond the paper)."""
+
+from benchmarks.conftest import print_once
+from repro.experiments.sensitivity import (
+    format_sweep,
+    sweep_mesh_link_bandwidth,
+    sweep_stack_count,
+)
+
+
+def test_mesh_bandwidth_sweep(benchmark):
+    points = benchmark.pedantic(
+        sweep_mesh_link_bandwidth, args=(1024,), rounds=3, iterations=1
+    )
+    print_once(
+        "sens-mesh",
+        format_sweep("Mesh link bandwidth sweep (Si_1024):", points),
+    )
+    speedups = [p.speedup_vs_cpu for p in points]
+    assert speedups == sorted(speedups)
+
+
+def test_stack_count_sweep(benchmark):
+    points = benchmark.pedantic(
+        sweep_stack_count, args=(1024,), rounds=3, iterations=1
+    )
+    print_once("sens-stacks", format_sweep("Stack count sweep (Si_1024):", points))
+    assert points[-1].speedup_vs_cpu > points[0].speedup_vs_cpu

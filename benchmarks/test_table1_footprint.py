@@ -1,0 +1,17 @@
+"""Bench: regenerate Table I (pseudopotential memory footprint)."""
+
+from benchmarks.conftest import print_once
+from repro.experiments.table1_footprint import (
+    format_table1,
+    run_table1,
+    table1_comparisons,
+)
+
+
+def test_table1_footprint(benchmark):
+    rows = benchmark(run_table1)
+    print_once("table1", format_table1())
+    assert len(rows) == 4
+    for comparison in table1_comparisons():
+        assert comparison.ratio is not None
+        assert abs(comparison.ratio - 1.0) < 0.01

@@ -1,0 +1,51 @@
+"""Physics scenario: compute a real silicon excitation spectrum.
+
+This exercises the *functional* half of the library — the same LR-TDDFT
+pipeline the performance models describe, executed with numpy on an
+executable supercell (Si_8, the conventional diamond cell):
+
+1. build the crystal and a plane-wave basis;
+2. solve the empirical-pseudopotential ground state (the supercell gap
+   converges near silicon's experimental 1.17 eV);
+3. run TDA LR-TDDFT serially and on a simulated 4-rank communicator, and
+   confirm both give identical excitation energies;
+4. report the communication volume the Fig. 1 transposes generated.
+
+Run:  python examples/excited_states_silicon.py
+"""
+
+import numpy as np
+
+from repro import PlaneWaveBasis, run_lrtddft, silicon_supercell, solve_ground_state
+from repro.units import HARTREE_TO_EV
+
+cell = silicon_supercell(8)
+basis = PlaneWaveBasis(cell, ecut=2.5)
+print(f"Si_8 conventional cell: {basis.n_pw} plane waves, "
+      f"FFT grid {basis.fft_shape}")
+
+ground_state = solve_ground_state(cell, basis)
+print(f"valence bands: {ground_state.n_valence}, "
+      f"conduction bands: {ground_state.n_conduction}")
+print(f"Kohn-Sham gap: {ground_state.band_gap * HARTREE_TO_EV:.3f} eV "
+      f"(experimental Si gap: 1.17 eV)")
+
+serial = run_lrtddft(ground_state, n_active_valence=6, n_active_conduction=4)
+parallel = run_lrtddft(
+    ground_state, n_active_valence=6, n_active_conduction=4, n_ranks=4
+)
+
+assert np.allclose(
+    serial.excitation_energies, parallel.excitation_energies, atol=1e-8
+), "simulated-MPI run must reproduce the serial spectrum"
+
+print("\nlowest singlet (TDA) excitation energies, eV:")
+for i, energy in enumerate(serial.excitation_energies[:8] * HARTREE_TO_EV):
+    print(f"  S{i + 1}: {energy:7.3f}")
+
+counters = serial.counters
+print(f"\nkernel mix (serial run): {counters.calls}")
+print(f"total FLOPs: {counters.flops:.3e}, "
+      f"arithmetic intensity: {counters.arithmetic_intensity:.2f} FLOP/byte")
+print(f"\n4-rank run moved {parallel.comm_bytes / 2**20:.1f} MiB through "
+      f"collectives: {parallel.comm_bytes_by_op}")

@@ -1,0 +1,29 @@
+"""Timeline scenario: watch the scheduled pipeline occupy the machine.
+
+Builds the cost-aware schedule for a chosen system size, replays it into
+trace events and renders an ASCII Gantt chart: the NDP lane carries the
+memory-bound phases, the CPU lane the dense linear algebra, and the link
+lane the Eq. 1 handovers between them.
+
+Run:  python examples/execution_timeline.py [n_atoms]
+"""
+
+import sys
+
+from repro import NdftFramework
+from repro.core.pipeline import build_pipeline
+from repro.core.scheduler import SchedulingPolicy
+from repro.core.trace import build_timeline, render_gantt, total_time, validate_timeline
+from repro.dft.workload import problem_size
+
+n_atoms = int(sys.argv[1]) if len(sys.argv) > 1 else 1024
+framework = NdftFramework()
+pipeline = build_pipeline(problem_size(n_atoms))
+
+for policy in (SchedulingPolicy.COST_AWARE, SchedulingPolicy.ALL_CPU):
+    schedule = framework.scheduler.schedule(pipeline, policy)
+    events = build_timeline(pipeline, schedule, framework.cost_model)
+    validate_timeline(events)
+    print(f"\n=== {policy.value} schedule, Si_{n_atoms} "
+          f"({total_time(events):.3f} s) ===")
+    print(render_gantt(events))

@@ -1,0 +1,58 @@
+"""Systems scenario: how the cost-aware scheduler makes its decisions.
+
+Walks the §IV-A machinery explicitly for one system size:
+
+1. the SCA's per-function verdicts (boundedness, intensity consistency —
+   the evidence for function-level offload granularity);
+2. the Eq. 1 overhead each offload granularity would pay;
+3. all four scheduling policies side by side;
+4. the chosen placement and the resulting Fig. 7-style breakdown.
+
+Run:  python examples/scheduling_study.py [n_atoms]
+"""
+
+import sys
+
+from repro import NdftFramework
+from repro.core.pipeline import build_pipeline
+from repro.core.scheduler import SchedulingPolicy, granularity_overheads
+from repro.dft.workload import problem_size
+
+n_atoms = int(sys.argv[1]) if len(sys.argv) > 1 else 1024
+framework = NdftFramework()
+problem = problem_size(n_atoms)
+pipeline = build_pipeline(problem)
+
+print(f"=== static code analysis ({problem.label}) ===")
+print(f"{'function':<18s}{'AI':>8s}{'bound':>10s}{'consistency':>13s}"
+      f"{'prefers':>9s}")
+for stage in pipeline.stages:
+    report = framework.sca.analyze(stage.function)
+    print(
+        f"{report.function_name:<18s}{report.arithmetic_intensity:>8.2f}"
+        f"{report.boundedness:>10s}{report.intensity_consistency:>13.2f}"
+        f"{'NDP' if report.prefers_ndp else 'CPU':>9s}"
+    )
+
+print("\n=== offload granularity (Eq. 1 overhead) ===")
+for granularity, overhead in granularity_overheads(pipeline, framework.scheduler).items():
+    note = "  <- NDFT's choice" if granularity == "function" else ""
+    print(f"  {granularity:<12s} {overhead:12.6f} s{note}")
+
+print("\n=== scheduling policies ===")
+for policy in SchedulingPolicy:
+    schedule = framework.scheduler.schedule(pipeline, policy)
+    print(
+        f"  {policy.value:<12s} predicted {schedule.predicted_total:9.4f} s, "
+        f"{schedule.n_boundaries} boundary crossing(s), "
+        f"overhead {schedule.scheduling_overhead:.4f} s"
+    )
+
+print("\n=== chosen placement + executed breakdown ===")
+result = framework.run(problem=problem, pipeline=pipeline)
+for name, seconds in result.report.phase_seconds.items():
+    placement = result.schedule.assignments[name]
+    print(f"  {name:<18s} {seconds:9.4f} s on {placement}")
+print(f"  {'scheduling':<18s} {result.report.scheduling_overhead:9.4f} s "
+      f"({100 * result.scheduling_overhead_fraction:.1f}% of total)")
+print(f"  {'TOTAL':<18s} {result.total_time:9.4f} s")

@@ -1,0 +1,75 @@
+"""NDFT reproduction: near-data LR-TDDFT via hardware/software co-design.
+
+Reproduces "NDFT: Accelerating Density Functional Theory Calculations via
+Hardware/Software Co-Design on Near-Data Computing System" (DAC 2025,
+arXiv:2504.03451) as a self-contained Python library:
+
+- :mod:`repro.dft` — a functional plane-wave LR-TDDFT implementation (the
+  accelerated application) plus its analytic workload model;
+- :mod:`repro.parallel` — simulated MPI collectives and data layouts;
+- :mod:`repro.hw` — the CPU-NDP/GPU machine models (zsim+Ramulator
+  substitute);
+- :mod:`repro.shmem` — the shared-block pseudopotential runtime
+  (Algorithm 1, Table II APIs, hierarchical arbiters);
+- :mod:`repro.core` — the NDFT framework itself: SCA, Eq. 1 cost model,
+  cost-aware scheduler, pipeline executor, baselines;
+- :mod:`repro.workloads` — the Si_16 .. Si_2048 evaluation systems;
+- :mod:`repro.experiments` — drivers regenerating every table and figure.
+
+Quickstart::
+
+    from repro import NdftFramework, run_cpu_baseline, problem_size
+
+    problem = problem_size(1024)            # the paper's "large system"
+    result = NdftFramework().run(problem=problem)
+    baseline = run_cpu_baseline(problem)
+    print(baseline.total_time / result.total_time)   # ~5x
+"""
+
+from repro.core import (
+    NdftFramework,
+    NdftRunResult,
+    run_cpu_baseline,
+    run_gpu_baseline,
+)
+from repro.core.scheduler import Placement, SchedulingPolicy
+from repro.dft import (
+    PlaneWaveBasis,
+    problem_size,
+    run_lrtddft,
+    silicon_supercell,
+    solve_ground_state,
+    stage_workloads,
+)
+from repro.hw import cpu_baseline_config, gpu_baseline_config, ndft_system_config
+from repro.model import AccessPattern, KernelWorkload, PhaseName
+from repro.shmem import footprint_ndft, footprint_replicated
+from repro.workloads import paper_systems, silicon_workload
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "NdftFramework",
+    "NdftRunResult",
+    "run_cpu_baseline",
+    "run_gpu_baseline",
+    "Placement",
+    "SchedulingPolicy",
+    "PlaneWaveBasis",
+    "problem_size",
+    "run_lrtddft",
+    "silicon_supercell",
+    "solve_ground_state",
+    "stage_workloads",
+    "cpu_baseline_config",
+    "gpu_baseline_config",
+    "ndft_system_config",
+    "AccessPattern",
+    "KernelWorkload",
+    "PhaseName",
+    "footprint_ndft",
+    "footprint_replicated",
+    "paper_systems",
+    "silicon_workload",
+    "__version__",
+]

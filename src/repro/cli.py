@@ -1,0 +1,170 @@
+"""Command-line interface: ``python -m repro <artifact>``.
+
+Regenerates any of the paper's artifacts from a shell:
+
+    python -m repro fig4          # roofline study
+    python -m repro table1        # footprint table
+    python -m repro fig7 --atoms 1024
+    python -m repro fig8
+    python -m repro discussion
+    python -m repro ablations
+    python -m repro sensitivity   # design-space sweeps (extension)
+    python -m repro all           # everything, in paper order
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro.core.framework import NdftFramework
+
+
+def _fig4(_args, _framework) -> str:
+    from repro.experiments.fig4_roofline import format_roofline, run_roofline_study
+
+    return format_roofline(run_roofline_study())
+
+
+def _table1(_args, _framework) -> str:
+    from repro.experiments.table1_footprint import format_table1
+
+    return format_table1()
+
+
+def _fig7(args, framework) -> str:
+    from repro.experiments.fig7_breakdown import (
+        breakdown_comparisons,
+        format_breakdown,
+        run_breakdown,
+    )
+    from repro.experiments.report import format_table
+
+    sections = []
+    for n_atoms in args.atoms or (64, 1024):
+        study = run_breakdown(n_atoms, framework)
+        sections.append(format_breakdown(study))
+        sections.append(
+            format_table(
+                f"Fig. 7 quoted numbers, Si_{n_atoms}",
+                breakdown_comparisons(study),
+            )
+        )
+    return "\n\n".join(sections)
+
+
+def _fig8(_args, framework) -> str:
+    from repro.experiments.fig8_scalability import (
+        format_scalability,
+        run_scalability,
+        scalability_comparisons,
+    )
+    from repro.experiments.report import format_table
+
+    study = run_scalability(framework=framework)
+    return (
+        format_scalability(study)
+        + "\n\n"
+        + format_table("Fig. 8 quoted numbers", scalability_comparisons(study))
+    )
+
+
+def _discussion(_args, framework) -> str:
+    from repro.experiments.discussion import run_discussion
+    from repro.experiments.report import format_table
+
+    return format_table(
+        "§VI-A discussion numbers", run_discussion(framework).comparisons()
+    )
+
+
+def _ablations(args, framework) -> str:
+    from repro.experiments.ablations import (
+        run_granularity_ablation,
+        run_policy_ablation,
+        run_shared_memory_ablation,
+    )
+
+    n_atoms = (args.atoms or [1024])[0]
+    lines = [f"Offload-granularity Eq. 1 overhead (Si_{n_atoms}):"]
+    for name, seconds in run_granularity_ablation(n_atoms, framework).items():
+        lines.append(f"  {name:<12s} {seconds:12.6f} s")
+    lines.append(f"\nScheduling-policy totals (Si_{n_atoms}):")
+    for name, seconds in run_policy_ablation(n_atoms, framework).totals.items():
+        lines.append(f"  {name:<12s} {seconds:10.4f} s")
+    shmem = run_shared_memory_ablation()
+    lines.append(
+        "\nShared-memory functional ablation (Si_16): "
+        f"-{shmem.memory_reduction_percent:.1f}% memory, "
+        f"filter effective: {shmem.filter_effective}"
+    )
+    return "\n".join(lines)
+
+
+def _sensitivity(args, _framework) -> str:
+    from repro.experiments.sensitivity import (
+        format_sweep,
+        sweep_host_link_bandwidth,
+        sweep_mesh_link_bandwidth,
+        sweep_stack_count,
+        sweep_units_per_stack,
+    )
+
+    n_atoms = (args.atoms or [1024])[0]
+    return "\n\n".join(
+        [
+            format_sweep(
+                "Mesh link bandwidth sweep (B/s):",
+                sweep_mesh_link_bandwidth(n_atoms),
+            ),
+            format_sweep("Stack count sweep:", sweep_stack_count(n_atoms)),
+            format_sweep(
+                "Host link bandwidth sweep (B/s):",
+                sweep_host_link_bandwidth(n_atoms),
+            ),
+            format_sweep(
+                "NDP units per stack sweep:", sweep_units_per_stack(n_atoms)
+            ),
+        ]
+    )
+
+
+_COMMANDS = {
+    "fig4": _fig4,
+    "table1": _table1,
+    "fig7": _fig7,
+    "fig8": _fig8,
+    "discussion": _discussion,
+    "ablations": _ablations,
+    "sensitivity": _sensitivity,
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Regenerate the NDFT paper's tables and figures.",
+    )
+    parser.add_argument(
+        "artifact",
+        choices=sorted(_COMMANDS) + ["all"],
+        help="which artifact to regenerate",
+    )
+    parser.add_argument(
+        "--atoms",
+        type=int,
+        nargs="*",
+        help="system size(s) for fig7/ablations/sensitivity",
+    )
+    args = parser.parse_args(argv)
+
+    framework = NdftFramework()
+    names = sorted(_COMMANDS) if args.artifact == "all" else [args.artifact]
+    for name in names:
+        print(f"\n===== {name} =====")
+        print(_COMMANDS[name](args, framework))
+    return 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via __main__
+    sys.exit(main())

@@ -1,0 +1,52 @@
+"""NDFT core: the paper's primary contribution.
+
+- :mod:`repro.core.ir` — the kernel IR the static code analyzer consumes.
+- :mod:`repro.core.sca` — the SCA substitute: per-function compute/memory
+  intensity, boundedness classification, transfer-set estimation (§IV-A2).
+- :mod:`repro.core.cost_model` — Eq. 1: scheduling overhead as the sum of
+  data-transfer (DT) and context-switch (CXT) costs over placement
+  boundaries.
+- :mod:`repro.core.scheduler` — the cost-aware offloader, plus the naive /
+  all-CPU / all-NDP policies used as ablations, at four offload
+  granularities (instruction, basic block, function, kernel).
+- :mod:`repro.core.pipeline` — the LR-TDDFT stage graph with data edges.
+- :mod:`repro.core.executor` — maps a schedule onto the machine models via
+  the discrete-event engine.
+- :mod:`repro.core.framework` — the end-to-end NDFT driver.
+- :mod:`repro.core.baselines` — CPU-only and GPU execution models.
+"""
+
+from repro.core.ir import CodeSegment, KernelFunction
+from repro.core.sca import ScaReport, StaticCodeAnalyzer
+from repro.core.cost_model import OffloadCostModel
+from repro.core.pipeline import Pipeline, Stage, build_pipeline
+from repro.core.scheduler import (
+    Placement,
+    Schedule,
+    SchedulingPolicy,
+    CostAwareScheduler,
+)
+from repro.core.executor import ExecutionReport, PipelineExecutor
+from repro.core.framework import NdftFramework, NdftRunResult
+from repro.core.baselines import run_cpu_baseline, run_gpu_baseline
+
+__all__ = [
+    "CodeSegment",
+    "KernelFunction",
+    "ScaReport",
+    "StaticCodeAnalyzer",
+    "OffloadCostModel",
+    "Pipeline",
+    "Stage",
+    "build_pipeline",
+    "Placement",
+    "Schedule",
+    "SchedulingPolicy",
+    "CostAwareScheduler",
+    "ExecutionReport",
+    "PipelineExecutor",
+    "NdftFramework",
+    "NdftRunResult",
+    "run_cpu_baseline",
+    "run_gpu_baseline",
+]

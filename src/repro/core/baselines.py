@@ -1,0 +1,65 @@
+"""Baseline execution models: CPU-only and GPU (paper §V).
+
+Both baselines run the same pipeline workloads end to end on one machine
+model.  The GPU baseline additionally pays per-phase host<->device
+transfers (that is the point the paper makes about heterogeneous
+offload); the CPU baseline pays nothing extra — it is the reference
+everything is normalized against (Fig. 7, Fig. 8).
+"""
+
+from __future__ import annotations
+
+from repro.core.executor import ExecutionReport
+from repro.core.pipeline import Pipeline, build_pipeline
+from repro.core.scheduler import Placement
+from repro.dft.workload import ProblemSize
+from repro.hw.config import CpuConfig, GpuConfig, cpu_baseline_config, gpu_baseline_config
+from repro.hw.cpu import CpuModel
+from repro.hw.gpu import GpuModel
+
+
+def run_cpu_baseline(
+    problem: ProblemSize,
+    config: CpuConfig | None = None,
+    pipeline: Pipeline | None = None,
+) -> ExecutionReport:
+    """Run every phase on the CPU baseline (2x Xeon E5-2695)."""
+    machine = CpuModel(config or cpu_baseline_config())
+    pipeline = pipeline or build_pipeline(problem)
+    phase_times = {
+        stage.name: machine.execute(stage.workload) for stage in pipeline.stages
+    }
+    phase_seconds = {name: t.total for name, t in phase_times.items()}
+    return ExecutionReport(
+        phase_seconds=phase_seconds,
+        phase_times=phase_times,
+        scheduling_overhead=0.0,
+        total_time=sum(phase_seconds.values()),
+        assignments={name: Placement.CPU for name in phase_seconds},
+    )
+
+
+def run_gpu_baseline(
+    problem: ProblemSize,
+    config: GpuConfig | None = None,
+    pipeline: Pipeline | None = None,
+) -> ExecutionReport:
+    """Run every phase on the GPU baseline (2x V100, PCIe-attached).
+
+    Each phase's host<->device traffic is charged inside
+    :meth:`repro.hw.gpu.GpuModel.execute`; there is no separate scheduling
+    overhead bucket because the GPU pipeline has a single placement.
+    """
+    machine = GpuModel(config or gpu_baseline_config())
+    pipeline = pipeline or build_pipeline(problem)
+    phase_times = {
+        stage.name: machine.execute(stage.workload) for stage in pipeline.stages
+    }
+    phase_seconds = {name: t.total for name, t in phase_times.items()}
+    return ExecutionReport(
+        phase_seconds=phase_seconds,
+        phase_times=phase_times,
+        scheduling_overhead=0.0,
+        total_time=sum(phase_seconds.values()),
+        assignments={name: Placement.CPU for name in phase_seconds},
+    )

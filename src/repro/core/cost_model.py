@@ -1,0 +1,43 @@
+"""The offload cost model — the paper's Eq. 1.
+
+    Scheduling Overhead = sum over CPU<->NDP boundaries of (DT(i, j) + CXT)
+
+DT(i, j) is the data-transfer time for the bytes live across a placement
+boundary (served by the host link); CXT is the constant context-switch
+cost of synchronizing execution state between the two kinds of units.
+The scheduler charges this overhead for every edge of the stage graph
+whose endpoints run on different sides, and NDFT's reported "scheduling
+overhead" (3.8 % / 4.9 % of runtime, §VI-A) is exactly this sum.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.hw.interconnect import HostLink
+
+
+@dataclass(frozen=True)
+class OffloadCostModel:
+    """DT + CXT accounting over a host link."""
+
+    host_link: HostLink
+    context_switch: float  # seconds per boundary crossing (CXT)
+
+    def __post_init__(self) -> None:
+        if self.context_switch < 0:
+            raise ConfigError("context switch cost must be non-negative")
+
+    def data_transfer_time(self, nbytes: float) -> float:
+        """DT(i, j) for one boundary carrying ``nbytes``."""
+        return self.host_link.transfer_time(nbytes)
+
+    def boundary_cost(self, nbytes: float) -> float:
+        """DT + CXT for one placement boundary."""
+        return self.data_transfer_time(nbytes) + self.context_switch
+
+    def schedule_overhead(self, crossing_edges: list[float]) -> float:
+        """Eq. 1: total overhead for a set of boundary-crossing edges,
+        given as the byte counts crossing each boundary."""
+        return sum(self.boundary_cost(nbytes) for nbytes in crossing_edges)

@@ -1,0 +1,146 @@
+"""The end-to-end NDFT framework (the paper's headline system).
+
+:class:`NdftFramework` wires everything together for one Si_N problem:
+
+1. build the LR-TDDFT pipeline and its function IR;
+2. run the SCA over every function (boundedness + consistency);
+3. schedule with the cost-aware offloader (Eq. 1);
+4. execute on the CPU-NDP machine models through the DES engine;
+5. account pseudopotential memory under the shared-block layout.
+
+The result carries everything the evaluation section reports: per-phase
+breakdown (Fig. 7), scheduling-overhead fraction (§VI-A), and memory
+footprints (Table I / §VI-A discussion).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost_model import OffloadCostModel
+from repro.core.executor import ExecutionReport, PipelineExecutor
+from repro.core.pipeline import Pipeline, build_pipeline
+from repro.core.sca import ScaReport, StaticCodeAnalyzer
+from repro.core.scheduler import (
+    CostAwareScheduler,
+    Schedule,
+    SchedulingPolicy,
+)
+from repro.dft.workload import ProblemSize, problem_size
+from repro.hw.config import SystemConfig, ndft_system_config
+from repro.hw.cpu import CpuModel
+from repro.hw.interconnect import HostLink
+from repro.hw.ndp import NdpSystemModel
+from repro.hw.roofline import RooflineModel
+from repro.model import AccessPattern
+from repro.shmem.footprint import (
+    NDP_RANKS,
+    NDP_STACKS,
+    footprint_ndft,
+    footprint_replicated,
+)
+
+
+@dataclass(frozen=True)
+class NdftRunResult:
+    """Everything one NDFT run produces."""
+
+    problem: ProblemSize
+    schedule: Schedule
+    report: ExecutionReport
+    sca_reports: dict[str, ScaReport]
+    memory_footprint_gb: float
+    replicated_footprint_gb: float
+
+    @property
+    def total_time(self) -> float:
+        return self.report.total_time
+
+    @property
+    def scheduling_overhead_fraction(self) -> float:
+        return self.report.overhead_fraction
+
+    @property
+    def memory_reduction_percent(self) -> float:
+        """Footprint saving vs the replicated NDP layout (§VI-A: 57.8 %)."""
+        if self.replicated_footprint_gb == 0:
+            return 0.0
+        return 100.0 * (
+            1.0 - self.memory_footprint_gb / self.replicated_footprint_gb
+        )
+
+    def breakdown(self) -> dict[str, float]:
+        return self.report.breakdown()
+
+
+class NdftFramework:
+    """NDFT on the Table III CPU-NDP system."""
+
+    def __init__(
+        self,
+        system: SystemConfig | None = None,
+        policy: SchedulingPolicy = SchedulingPolicy.COST_AWARE,
+    ):
+        self.system = system or ndft_system_config()
+        self.policy = policy
+        self.host = CpuModel(self.system.host)
+        self.ndp = NdpSystemModel(self.system.ndp)
+        # Offload handovers run at half the raw link rate: the releasing
+        # side flushes dirty lines before the consuming side can pull
+        # (flush + copy, serialized).
+        self.cost_model = OffloadCostModel(
+            host_link=HostLink(
+                bandwidth=self.system.ndp.host_link_bandwidth / 2.0
+            ),
+            context_switch=self.system.context_switch_overhead,
+        )
+        self.scheduler = CostAwareScheduler(
+            host=self.host, ndp=self.ndp, cost_model=self.cost_model
+        )
+        self.executor = PipelineExecutor(cost_model=self.cost_model)
+        self.sca = StaticCodeAnalyzer(
+            cpu_roofline=RooflineModel(
+                name=self.system.host.name,
+                peak_flops=self.system.host.peak_flops,
+                peak_bandwidth=self.host.memory.effective_bandwidth(
+                    AccessPattern.SEQUENTIAL
+                ),
+            ),
+            ndp_roofline=RooflineModel(
+                name=self.system.ndp.name,
+                peak_flops=self.system.ndp.peak_flops,
+                peak_bandwidth=self.system.ndp.aggregate_internal_bandwidth
+                * 0.86,
+            ),
+        )
+
+    def run(
+        self,
+        n_atoms: int | None = None,
+        problem: ProblemSize | None = None,
+        pipeline: Pipeline | None = None,
+    ) -> NdftRunResult:
+        """Schedule + execute LR-TDDFT for Si_{n_atoms} on the CPU-NDP
+        system and account its memory."""
+        if problem is None:
+            if n_atoms is None:
+                raise ValueError("pass n_atoms or problem")
+            problem = problem_size(n_atoms)
+        pipeline = pipeline or build_pipeline(problem)
+        sca_reports = self.sca.analyze_all(
+            [stage.function for stage in pipeline.stages]
+        )
+        schedule = self.scheduler.schedule(pipeline, self.policy)
+        report = self.executor.execute(pipeline, schedule)
+        return NdftRunResult(
+            problem=problem,
+            schedule=schedule,
+            report=report,
+            sca_reports=sca_reports,
+            memory_footprint_gb=footprint_ndft(
+                problem.n_atoms, NDP_RANKS, NDP_STACKS
+            ),
+            replicated_footprint_gb=footprint_replicated(
+                problem.n_atoms, NDP_RANKS
+            ),
+        )

@@ -1,0 +1,137 @@
+"""The LR-TDDFT stage graph (paper Fig. 1 as a schedulable pipeline).
+
+Stages, in dependency order:
+
+    pseudopotential -> face_split -> fft -> global_comm -> gemm -> syevd
+
+Each stage carries its analytic workload (:mod:`repro.dft.workload`), its
+function-level IR (for the SCA), and data edges weighted with the bytes
+live between consecutive stages — the quantity the DT term of Eq. 1
+charges when a placement boundary cuts the edge.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.ir import KernelFunction, function_from_workload
+from repro.dft.workload import ProblemSize, stage_workloads
+from repro.errors import ConfigError
+from repro.model import KernelWorkload, PhaseName
+
+
+@dataclass(frozen=True)
+class Stage:
+    """One schedulable phase of the pipeline."""
+
+    name: str
+    workload: KernelWorkload
+    function: KernelFunction
+
+
+@dataclass(frozen=True)
+class Edge:
+    """Data dependency between two stages, weighted in bytes."""
+
+    src: str
+    dst: str
+    nbytes: float
+
+    def __post_init__(self) -> None:
+        if self.nbytes < 0:
+            raise ConfigError("edge bytes must be non-negative")
+
+
+@dataclass(frozen=True)
+class Pipeline:
+    """An ordered chain of stages with byte-weighted data edges."""
+
+    problem: ProblemSize
+    stages: tuple[Stage, ...]
+    edges: tuple[Edge, ...]
+
+    def __post_init__(self) -> None:
+        names = [s.name for s in self.stages]
+        if len(set(names)) != len(names):
+            raise ConfigError("duplicate stage names in pipeline")
+        known = set(names)
+        for edge in self.edges:
+            if edge.src not in known or edge.dst not in known:
+                raise ConfigError(f"edge {edge.src}->{edge.dst} references unknown stage")
+
+    def stage(self, name: str) -> Stage:
+        for candidate in self.stages:
+            if candidate.name == name:
+                return candidate
+        raise ConfigError(f"no stage named {name!r}")
+
+    def edges_between(self, src: str, dst: str) -> list[Edge]:
+        return [e for e in self.edges if e.src == src and e.dst == dst]
+
+    @property
+    def stage_names(self) -> list[str]:
+        return [s.name for s in self.stages]
+
+
+#: Canonical stage order of the LR-TDDFT pipeline.
+STAGE_ORDER = (
+    PhaseName.PSEUDOPOTENTIAL,
+    PhaseName.FACE_SPLIT,
+    PhaseName.FFT,
+    PhaseName.GLOBAL_COMM,
+    PhaseName.GEMM,
+    PhaseName.SYEVD,
+)
+
+
+def build_pipeline(problem: ProblemSize) -> Pipeline:
+    """Assemble the Fig. 1 pipeline for one Si_N problem."""
+    workloads = stage_workloads(problem)
+
+    orbital_bytes = (
+        (problem.n_active_valence + problem.n_active_conduction)
+        * problem.n_grid
+        * 16.0
+    )
+    pair_bytes = float(problem.n_pairs) * problem.n_grid * 16.0
+    # Between the transposes and the coupling GEMM the live data is the
+    # pair matrix restricted to the wavefunction G-sphere.
+    sphere_bytes = float(problem.n_pairs) * problem.n_pw * 16.0
+    coupling_bytes = float(problem.n_pairs) ** 2 * 16.0
+
+    live_sets = {
+        PhaseName.PSEUDOPOTENTIAL: (orbital_bytes, orbital_bytes),
+        PhaseName.FACE_SPLIT: (orbital_bytes, pair_bytes),
+        PhaseName.FFT: (pair_bytes, pair_bytes),
+        PhaseName.GLOBAL_COMM: (pair_bytes, sphere_bytes),
+        PhaseName.GEMM: (sphere_bytes, coupling_bytes),
+        PhaseName.SYEVD: (coupling_bytes, coupling_bytes),
+    }
+
+    stages = tuple(
+        Stage(
+            name=str(phase),
+            workload=workloads[phase],
+            function=function_from_workload(
+                workloads[phase],
+                live_in_bytes=live_sets[phase][0],
+                live_out_bytes=live_sets[phase][1],
+            ),
+        )
+        for phase in STAGE_ORDER
+    )
+
+    edge_bytes = {
+        (PhaseName.PSEUDOPOTENTIAL, PhaseName.FACE_SPLIT): orbital_bytes,
+        (PhaseName.FACE_SPLIT, PhaseName.FFT): pair_bytes,
+        (PhaseName.FFT, PhaseName.GLOBAL_COMM): pair_bytes,
+        # After the transposes only the reduced response sphere feeds the
+        # coupling-matrix GEMM.
+        (PhaseName.GLOBAL_COMM, PhaseName.GEMM): sphere_bytes,
+        (PhaseName.GEMM, PhaseName.SYEVD): coupling_bytes,
+    }
+    edges = tuple(
+        Edge(src=str(src), dst=str(dst), nbytes=nbytes)
+        for (src, dst), nbytes in edge_bytes.items()
+    )
+    return Pipeline(problem=problem, stages=stages, edges=edges)

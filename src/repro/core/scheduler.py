@@ -1,0 +1,222 @@
+"""Cost-aware workload partitioning and scheduling (paper §IV-A).
+
+Given the LR-TDDFT pipeline, the two execution targets (the host CPU and
+the NDP system) and the offload cost model, the scheduler picks a
+placement per *function* (the paper's chosen granularity) minimizing
+
+    sum of stage execution times  +  Eq. 1 scheduling overhead,
+
+by exhaustive enumeration — the pipeline has six stages, so the 2^6
+assignment space is tiny and the result is provably optimal under the
+model.  Alternative policies reproduce the paper's comparisons:
+
+- ``ALL_CPU`` / ``ALL_NDP``: homogeneous placements;
+- ``NAIVE``: per-stage greedy on raw kernel time, ignoring DT/CXT — what a
+  boundedness-only offloader (no cost model) would do.
+
+The granularity ablation (§IV-A1) lives in
+:func:`granularity_overheads`: finer granularities multiply boundary
+crossings; coarser ones forfeit heterogeneity.
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field
+
+from repro.core.cost_model import OffloadCostModel
+from repro.core.pipeline import Pipeline
+from repro.errors import SchedulingError
+from repro.hw.cpu import CpuModel
+from repro.hw.ndp import NdpSystemModel
+from repro.hw.timing import PhaseTime
+
+
+class Placement(str, enum.Enum):
+    CPU = "cpu"
+    NDP = "ndp"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+class SchedulingPolicy(enum.Enum):
+    COST_AWARE = "cost_aware"
+    NAIVE = "naive"
+    ALL_CPU = "all_cpu"
+    ALL_NDP = "all_ndp"
+
+
+@dataclass(frozen=True)
+class Schedule:
+    """A complete placement decision with its predicted cost."""
+
+    policy: SchedulingPolicy
+    assignments: dict[str, Placement]
+    stage_times: dict[str, PhaseTime]
+    crossing_bytes: tuple[float, ...]
+    scheduling_overhead: float
+    predicted_total: float
+
+    @property
+    def n_boundaries(self) -> int:
+        return len(self.crossing_bytes)
+
+    def overhead_fraction(self) -> float:
+        """Scheduling overhead as a fraction of predicted runtime — the
+        §VI-A metric (3.8 % small / 4.9 % large)."""
+        if self.predicted_total == 0:
+            return 0.0
+        return self.scheduling_overhead / self.predicted_total
+
+
+@dataclass
+class CostAwareScheduler:
+    """Places pipeline stages on the CPU or the NDP side."""
+
+    host: CpuModel
+    ndp: NdpSystemModel
+    cost_model: OffloadCostModel
+    _time_cache: dict = field(default_factory=dict, repr=False)
+
+    # ------------------------------------------------------------------
+    # Stage timing on each target
+    # ------------------------------------------------------------------
+    def stage_time(self, pipeline: Pipeline, name: str, placement: Placement) -> PhaseTime:
+        # Keyed by the (hashable, frozen) pipeline itself: identical
+        # problems share entries, and holding the reference prevents the
+        # id-reuse aliasing a raw id() key would suffer.
+        key = (pipeline.problem, name, placement)
+        if key not in self._time_cache:
+            workload = pipeline.stage(name).workload
+            machine = self.host if placement is Placement.CPU else self.ndp
+            self._time_cache[key] = machine.execute(workload)
+        return self._time_cache[key]
+
+    # ------------------------------------------------------------------
+    # Assignment evaluation
+    # ------------------------------------------------------------------
+    def evaluate(
+        self, pipeline: Pipeline, assignments: dict[str, Placement]
+    ) -> Schedule:
+        """Predict total runtime + Eq. 1 overhead for one assignment."""
+        missing = set(pipeline.stage_names) - set(assignments)
+        if missing:
+            raise SchedulingError(f"assignment missing stages: {sorted(missing)}")
+        stage_times = {
+            name: self.stage_time(pipeline, name, assignments[name])
+            for name in pipeline.stage_names
+        }
+        crossing = tuple(
+            edge.nbytes
+            for edge in pipeline.edges
+            if assignments[edge.src] is not assignments[edge.dst]
+        )
+        overhead = self.cost_model.schedule_overhead(list(crossing))
+        total = sum(t.total for t in stage_times.values()) + overhead
+        return Schedule(
+            policy=SchedulingPolicy.COST_AWARE,
+            assignments=dict(assignments),
+            stage_times=stage_times,
+            crossing_bytes=crossing,
+            scheduling_overhead=overhead,
+            predicted_total=total,
+        )
+
+    # ------------------------------------------------------------------
+    # Policies
+    # ------------------------------------------------------------------
+    def schedule(
+        self,
+        pipeline: Pipeline,
+        policy: SchedulingPolicy = SchedulingPolicy.COST_AWARE,
+    ) -> Schedule:
+        if policy is SchedulingPolicy.ALL_CPU:
+            assignment = {n: Placement.CPU for n in pipeline.stage_names}
+            result = self.evaluate(pipeline, assignment)
+        elif policy is SchedulingPolicy.ALL_NDP:
+            assignment = {n: Placement.NDP for n in pipeline.stage_names}
+            result = self.evaluate(pipeline, assignment)
+        elif policy is SchedulingPolicy.NAIVE:
+            assignment = {
+                name: (
+                    Placement.CPU
+                    if self.stage_time(pipeline, name, Placement.CPU).total
+                    <= self.stage_time(pipeline, name, Placement.NDP).total
+                    else Placement.NDP
+                )
+                for name in pipeline.stage_names
+            }
+            result = self.evaluate(pipeline, assignment)
+        elif policy is SchedulingPolicy.COST_AWARE:
+            result = self._exhaustive_best(pipeline)
+        else:  # pragma: no cover - exhaustive enum
+            raise SchedulingError(f"unknown policy {policy}")
+        return Schedule(
+            policy=policy,
+            assignments=result.assignments,
+            stage_times=result.stage_times,
+            crossing_bytes=result.crossing_bytes,
+            scheduling_overhead=result.scheduling_overhead,
+            predicted_total=result.predicted_total,
+        )
+
+    def _exhaustive_best(self, pipeline: Pipeline) -> Schedule:
+        names = pipeline.stage_names
+        best: Schedule | None = None
+        for choices in itertools.product(
+            (Placement.CPU, Placement.NDP), repeat=len(names)
+        ):
+            candidate = self.evaluate(pipeline, dict(zip(names, choices)))
+            if best is None or candidate.predicted_total < best.predicted_total:
+                best = candidate
+        assert best is not None
+        return best
+
+
+# ---------------------------------------------------------------------------
+# Offload-granularity study (§IV-A1)
+# ---------------------------------------------------------------------------
+
+#: Relative number of potential placement boundaries per pipeline stage at
+#: each granularity.  Instruction-level offloading re-crosses the boundary
+#: roughly once per dependent instruction window; basic blocks amortize
+#: tens of instructions; functions cross at most once per stage edge;
+#: kernel-level (whole pipeline) never crosses.
+GRANULARITY_CROSSINGS_PER_STAGE = {
+    "instruction": 512,
+    "basic_block": 32,
+    "function": 1,
+    "kernel": 0,
+}
+
+
+def granularity_overheads(
+    pipeline: Pipeline,
+    scheduler: CostAwareScheduler,
+) -> dict[str, float]:
+    """Eq. 1 overhead each offload granularity would pay for the placement
+    the cost-aware scheduler chose.
+
+    Finer granularities split each crossing edge's payload across many
+    boundary crossings: the DT total stays (same bytes overall) but each
+    crossing re-pays latency + CXT, which is what makes instruction- and
+    block-level offloading unattractive (paper observation 1 in §IV-A1).
+    """
+    base = scheduler.schedule(pipeline, SchedulingPolicy.COST_AWARE)
+    results: dict[str, float] = {}
+    for granularity, crossings in GRANULARITY_CROSSINGS_PER_STAGE.items():
+        if crossings == 0:
+            # Whole-kernel offload: no boundaries, but also no
+            # heterogeneity: charged as the best homogeneous schedule.
+            results[granularity] = 0.0
+            continue
+        overhead = 0.0
+        for nbytes in base.crossing_bytes:
+            per_crossing = nbytes / crossings
+            overhead += crossings * scheduler.cost_model.boundary_cost(
+                per_crossing
+            )
+        results[granularity] = overhead
+    return results

@@ -1,0 +1,115 @@
+"""Execution timeline: turn a schedule into trace events and ASCII Gantt.
+
+The DES executor reports only totals; this module replays a schedule into
+explicit ``(start, end, lane)`` events — one lane per device plus one for
+the host link — which the examples render as an ASCII Gantt chart and the
+tests use to check that the executor's serialization matches the timeline
+(no overlapping occupancy on a lane, transfers strictly between producer
+and consumer).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.cost_model import OffloadCostModel
+from repro.core.pipeline import Pipeline
+from repro.core.scheduler import Placement, Schedule
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One occupancy interval on one lane."""
+
+    lane: str          # "cpu", "ndp" or "link"
+    label: str
+    start: float
+    end: float
+
+    def __post_init__(self) -> None:
+        if self.end < self.start:
+            raise SimulationError(f"event {self.label} ends before it starts")
+
+    @property
+    def duration(self) -> float:
+        return self.end - self.start
+
+
+def build_timeline(
+    pipeline: Pipeline, schedule: Schedule, cost_model: OffloadCostModel
+) -> list[TraceEvent]:
+    """Replay the chain schedule into trace events.
+
+    The LR-TDDFT pipeline is a chain, so the timeline is sequential:
+    each stage waits for its predecessor, pays its boundary transfer on
+    the link lane, then occupies its device lane.
+    """
+    events: list[TraceEvent] = []
+    clock = 0.0
+    previous_placement: Placement | None = None
+    for stage in pipeline.stages:
+        placement = schedule.assignments[stage.name]
+        if previous_placement is not None and placement is not previous_placement:
+            crossing = sum(
+                edge.nbytes
+                for edge in pipeline.edges
+                if edge.dst == stage.name
+                and schedule.assignments[edge.src] is not placement
+            )
+            transfer = cost_model.boundary_cost(crossing)
+            events.append(
+                TraceEvent("link", f"{stage.name} in", clock, clock + transfer)
+            )
+            clock += transfer
+        duration = schedule.stage_times[stage.name].total
+        events.append(
+            TraceEvent(str(placement), stage.name, clock, clock + duration)
+        )
+        clock += duration
+        previous_placement = placement
+    return events
+
+
+def validate_timeline(events: list[TraceEvent]) -> None:
+    """Raise :class:`SimulationError` if any lane double-books."""
+    by_lane: dict[str, list[TraceEvent]] = {}
+    for event in events:
+        by_lane.setdefault(event.lane, []).append(event)
+    for lane, lane_events in by_lane.items():
+        ordered = sorted(lane_events, key=lambda e: e.start)
+        for a, b in zip(ordered, ordered[1:]):
+            if b.start < a.end - 1e-12:
+                raise SimulationError(
+                    f"lane {lane!r}: {a.label} and {b.label} overlap"
+                )
+
+
+def total_time(events: list[TraceEvent]) -> float:
+    return max((e.end for e in events), default=0.0)
+
+
+def render_gantt(events: list[TraceEvent], width: int = 72) -> str:
+    """ASCII Gantt chart: one row per lane, one glyph per time bucket."""
+    if not events:
+        return "(empty timeline)"
+    horizon = total_time(events)
+    scale = width / horizon if horizon > 0 else 0.0
+    lanes = sorted({e.lane for e in events})
+    lines = [f"timeline: {horizon:.4f} s  ({width} cols)"]
+    for lane in lanes:
+        row = [" "] * width
+        for event in events:
+            if event.lane != lane:
+                continue
+            start = min(width - 1, int(event.start * scale))
+            end = min(width, max(start + 1, int(event.end * scale)))
+            glyph = event.label[0].upper()
+            for column in range(start, end):
+                row[column] = glyph
+        lines.append(f"{lane:>5s} |{''.join(row)}|")
+    legend = ", ".join(
+        f"{e.label[0].upper()}={e.label}" for e in events
+    )
+    lines.append(f"legend: {legend}")
+    return "\n".join(lines)

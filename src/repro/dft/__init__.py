@@ -1,0 +1,36 @@
+"""Plane-wave DFT / LR-TDDFT substrate.
+
+This package is the "physics half" of the NDFT reproduction: a from-scratch,
+functional plane-wave LR-TDDFT implementation (the application the paper
+accelerates), plus an analytic workload model that extrapolates per-kernel
+FLOP/byte counts to system sizes too large to execute numerically.
+
+Public entry points:
+
+- :func:`repro.dft.lattice.silicon_supercell` — build Si_N crystals.
+- :class:`repro.dft.basis.PlaneWaveBasis` — Γ-point plane-wave basis.
+- :func:`repro.dft.groundstate.solve_ground_state` — EPM Kohn-Sham-style
+  orbitals and eigenvalues.
+- :func:`repro.dft.lrtddft.run_lrtddft` — end-to-end excitation energies.
+- :func:`repro.dft.workload.problem_size` /
+  :func:`repro.dft.workload.stage_workloads` — analytic kernel workloads.
+"""
+
+from repro.dft.lattice import Crystal, silicon_supercell
+from repro.dft.basis import PlaneWaveBasis
+from repro.dft.groundstate import GroundState, solve_ground_state
+from repro.dft.lrtddft import LrtddftResult, run_lrtddft
+from repro.dft.workload import ProblemSize, problem_size, stage_workloads
+
+__all__ = [
+    "Crystal",
+    "silicon_supercell",
+    "PlaneWaveBasis",
+    "GroundState",
+    "solve_ground_state",
+    "LrtddftResult",
+    "run_lrtddft",
+    "ProblemSize",
+    "problem_size",
+    "stage_workloads",
+]

@@ -1,0 +1,175 @@
+"""Γ-point plane-wave basis and FFT grids.
+
+A wavefunction is expanded as ``psi(r) = (1/sqrt(V)) sum_G c_G exp(i G.r)``
+over all reciprocal-lattice vectors with kinetic energy ``|G|^2 / 2 <= E_cut``
+(Hartree).  The basis also owns the real-space FFT grid used for densities
+and pair products; the grid is sized to hold products of two wavefunctions
+exactly (2x the wavefunction G-sphere in every direction).
+
+Conventions
+-----------
+- ``to_grid`` zero-pads the coefficient sphere onto the FFT grid and applies
+  an *inverse* FFT scaled by ``n_grid`` so that grid values are the physical
+  ``sqrt(V) * psi(r)`` samples (i.e. dimensionless orbital amplitudes whose
+  mean square over the grid is 1 for a normalized orbital).
+- ``from_grid`` is the exact inverse of ``to_grid``.
+"""
+
+from __future__ import annotations
+
+from functools import cached_property
+
+import numpy as np
+
+from repro.dft.lattice import Crystal
+from repro.errors import ConfigError
+
+
+def next_fast_fft_size(n: int) -> int:
+    """Smallest 2/3/5-smooth integer >= n (a size numpy FFTs handle well)."""
+    if n < 1:
+        raise ConfigError(f"FFT size must be >= 1, got {n}")
+    candidate = n
+    while True:
+        remainder = candidate
+        for prime in (2, 3, 5):
+            while remainder % prime == 0:
+                remainder //= prime
+        if remainder == 1:
+            return candidate
+        candidate += 1
+
+
+class PlaneWaveBasis:
+    """Plane-wave basis for a crystal at the Γ point.
+
+    Parameters
+    ----------
+    cell:
+        The periodic supercell.
+    ecut:
+        Wavefunction kinetic-energy cutoff in Hartree.
+    grid_factor:
+        Ratio between the FFT-grid G-extent and the wavefunction sphere
+        extent.  2.0 (default) makes wavefunction products exact.
+    """
+
+    def __init__(self, cell: Crystal, ecut: float, grid_factor: float = 2.0):
+        if ecut <= 0:
+            raise ConfigError(f"ecut must be positive, got {ecut}")
+        if grid_factor < 1.0:
+            raise ConfigError(f"grid_factor must be >= 1, got {grid_factor}")
+        self.cell = cell
+        self.ecut = float(ecut)
+        self.grid_factor = float(grid_factor)
+
+        recip = cell.reciprocal
+        gmax = np.sqrt(2.0 * ecut)
+        # Conservative per-axis Miller-index bound: |h_i| <= gmax / |b_i*|
+        # where b_i* is the distance between neighboring (h_i) planes.
+        inv_row_norms = np.linalg.norm(np.linalg.inv(recip.T), axis=1)
+        hmax = np.maximum(1, np.ceil(gmax * inv_row_norms).astype(int))
+
+        axes = [np.arange(-h, h + 1) for h in hmax]
+        hh, kk, ll = np.meshgrid(*axes, indexing="ij")
+        miller = np.stack([hh.ravel(), kk.ravel(), ll.ravel()], axis=1)
+        g_cart = miller @ recip
+        g2 = np.einsum("ij,ij->i", g_cart, g_cart)
+        keep = g2 / 2.0 <= ecut + 1e-12
+
+        order = np.lexsort(
+            (miller[keep][:, 2], miller[keep][:, 1], miller[keep][:, 0], g2[keep])
+        )
+        self.miller = miller[keep][order]
+        self.g_cart = g_cart[keep][order]
+        self.g2 = g2[keep][order]
+
+        span = 2 * np.ceil(self.grid_factor * hmax).astype(int) + 1
+        self.fft_shape = tuple(next_fast_fft_size(int(s)) for s in span)
+
+        self._grid_index = tuple(
+            np.mod(self.miller[:, axis], self.fft_shape[axis])
+            for axis in range(3)
+        )
+
+    @property
+    def n_pw(self) -> int:
+        """Number of plane waves in the wavefunction sphere."""
+        return len(self.miller)
+
+    @property
+    def n_grid(self) -> int:
+        """Number of real-space FFT grid points."""
+        return int(np.prod(self.fft_shape))
+
+    @cached_property
+    def gamma_index(self) -> int:
+        """Index of the G = 0 component within the coefficient sphere."""
+        matches = np.flatnonzero(~self.miller.any(axis=1))
+        if len(matches) != 1:
+            raise ConfigError("basis does not contain exactly one G=0 vector")
+        return int(matches[0])
+
+    # ------------------------------------------------------------------
+    # Sphere <-> grid transforms
+    # ------------------------------------------------------------------
+    def to_grid(self, coeffs: np.ndarray) -> np.ndarray:
+        """Transform sphere coefficients to real-space grid samples.
+
+        ``coeffs`` may be a single (n_pw,) vector or a batch (n, n_pw);
+        returns (*fft_shape) or (n, *fft_shape) complex arrays.
+        """
+        coeffs = np.asarray(coeffs)
+        single = coeffs.ndim == 1
+        batch = coeffs[None, :] if single else coeffs
+        if batch.shape[-1] != self.n_pw:
+            raise ConfigError(
+                f"expected {self.n_pw} coefficients, got {batch.shape[-1]}"
+            )
+        grid = np.zeros((len(batch), *self.fft_shape), dtype=complex)
+        grid[(slice(None), *self._grid_index)] = batch
+        out = np.fft.ifftn(grid, axes=(1, 2, 3)) * self.n_grid
+        return out[0] if single else out
+
+    def from_grid(self, grid: np.ndarray) -> np.ndarray:
+        """Inverse of :meth:`to_grid`: grid samples -> sphere coefficients."""
+        grid = np.asarray(grid)
+        single = grid.ndim == 3
+        batch = grid[None, ...] if single else grid
+        if batch.shape[1:] != self.fft_shape:
+            raise ConfigError(
+                f"expected grid shape {self.fft_shape}, got {batch.shape[1:]}"
+            )
+        transformed = np.fft.fftn(batch, axes=(1, 2, 3)) / self.n_grid
+        coeffs = transformed[(slice(None), *self._grid_index)]
+        return coeffs[0] if single else coeffs
+
+    # ------------------------------------------------------------------
+    # Helpers used by the Hamiltonian builders
+    # ------------------------------------------------------------------
+    def grid_g_vectors(self) -> np.ndarray:
+        """Cartesian G vectors for every FFT grid point, shape (n_grid, 3).
+
+        Frequencies follow FFT ordering (0, 1, ..., -1) per axis, mapped
+        through the reciprocal lattice.
+        """
+        freqs = [
+            np.fft.fftfreq(n, d=1.0 / n).astype(int) for n in self.fft_shape
+        ]
+        hh, kk, ll = np.meshgrid(*freqs, indexing="ij")
+        miller = np.stack([hh.ravel(), kk.ravel(), ll.ravel()], axis=1)
+        return miller @ self.cell.reciprocal
+
+    def normalize(self, coeffs: np.ndarray) -> np.ndarray:
+        """Return coefficients scaled to unit norm (orbital normalization)."""
+        coeffs = np.asarray(coeffs)
+        norms = np.linalg.norm(coeffs, axis=-1, keepdims=True)
+        if np.any(norms == 0):
+            raise ConfigError("cannot normalize a zero wavefunction")
+        return coeffs / norms
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"PlaneWaveBasis(n_pw={self.n_pw}, fft_shape={self.fft_shape}, "
+            f"ecut={self.ecut:.2f} Ha)"
+        )

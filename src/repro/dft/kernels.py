@@ -1,0 +1,214 @@
+"""Instrumented numerical kernels: FFT, face-splitting product, GEMM, SYEVD.
+
+These are the five operations in the paper's Fig. 1 flowchart (the fifth,
+MPI_Alltoall, lives in :mod:`repro.parallel.mpi`).  Each kernel both
+*executes* (numpy/scipy) and *accounts*: FLOPs and bytes-touched are added
+to a :class:`KernelCounters` so that functional runs at small scale can be
+cross-checked against the analytic workload model
+(:mod:`repro.dft.workload`), which is what the roofline and scheduling
+machinery consume at paper scale.
+
+Counting conventions (documented so the tests can assert them exactly):
+
+- complex multiply-add = 8 real FLOPs; complex multiply = 6.
+- FFT of n complex points = ``5 n log2(n)`` real FLOPs (the standard
+  radix-2 accounting used by FFTW's own benchmarks).
+- complex GEMM (m x k)(k x n) = ``8 m n k`` FLOPs.
+- complex Hermitian SYEVD of dimension n = ``9 n^3`` FLOPs (tridiagonal
+  reduction + back-transformation, the LAPACK zheevd ballpark).
+- bytes are counted as array elements actually read + written, complex128
+  = 16 bytes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+import scipy.linalg
+
+from repro.errors import PhysicsError
+from repro.units import COMPLEX_BYTES
+
+FLOPS_PER_COMPLEX_MUL = 6
+FLOPS_PER_COMPLEX_MAC = 8
+SYEVD_FLOP_COEFF = 9
+
+
+@dataclass
+class KernelCounters:
+    """Accumulated operation counts for one or more kernel invocations."""
+
+    flops: float = 0.0
+    bytes_read: float = 0.0
+    bytes_written: float = 0.0
+    calls: dict[str, int] = field(default_factory=dict)
+
+    @property
+    def bytes_total(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per byte of traffic; the roofline x-axis."""
+        if self.bytes_total == 0:
+            raise PhysicsError("arithmetic intensity undefined: no traffic")
+        return self.flops / self.bytes_total
+
+    def record(self, name: str, flops: float, bytes_read: float, bytes_written: float) -> None:
+        self.flops += flops
+        self.bytes_read += bytes_read
+        self.bytes_written += bytes_written
+        self.calls[name] = self.calls.get(name, 0) + 1
+
+    def merged(self, other: "KernelCounters") -> "KernelCounters":
+        merged = KernelCounters(
+            flops=self.flops + other.flops,
+            bytes_read=self.bytes_read + other.bytes_read,
+            bytes_written=self.bytes_written + other.bytes_written,
+            calls=dict(self.calls),
+        )
+        for name, count in other.calls.items():
+            merged.calls[name] = merged.calls.get(name, 0) + count
+        return merged
+
+
+def fft_flops(n: int) -> float:
+    """Standard ``5 n log2 n`` FLOP count for an n-point complex FFT."""
+    if n < 1:
+        raise PhysicsError(f"FFT size must be >= 1, got {n}")
+    return 5.0 * n * np.log2(max(n, 2))
+
+
+def fft_3d(field_array: np.ndarray, counters: KernelCounters | None = None) -> np.ndarray:
+    """Forward 3D FFT of one or more complex grids.
+
+    Accepts (*grid) or (batch, *grid) arrays; the FFT runs over the last
+    three axes.
+    """
+    field_array = np.asarray(field_array, dtype=complex)
+    grid_points = int(np.prod(field_array.shape[-3:]))
+    batch = int(np.prod(field_array.shape[:-3])) if field_array.ndim > 3 else 1
+    out = np.fft.fftn(field_array, axes=(-3, -2, -1))
+    if counters is not None:
+        counters.record(
+            "fft",
+            flops=batch * fft_flops(grid_points),
+            bytes_read=batch * grid_points * COMPLEX_BYTES,
+            bytes_written=batch * grid_points * COMPLEX_BYTES,
+        )
+    return out
+
+
+def ifft_3d(field_array: np.ndarray, counters: KernelCounters | None = None) -> np.ndarray:
+    """Inverse 3D FFT; same accounting as :func:`fft_3d`."""
+    field_array = np.asarray(field_array, dtype=complex)
+    grid_points = int(np.prod(field_array.shape[-3:]))
+    batch = int(np.prod(field_array.shape[:-3])) if field_array.ndim > 3 else 1
+    out = np.fft.ifftn(field_array, axes=(-3, -2, -1))
+    if counters is not None:
+        counters.record(
+            "fft",
+            flops=batch * fft_flops(grid_points),
+            bytes_read=batch * grid_points * COMPLEX_BYTES,
+            bytes_written=batch * grid_points * COMPLEX_BYTES,
+        )
+    return out
+
+
+def face_splitting_product(
+    psi_v: np.ndarray, psi_c: np.ndarray, counters: KernelCounters | None = None
+) -> np.ndarray:
+    """Row-wise (transposed Khatri-Rao / "face-splitting") product.
+
+    Given valence orbitals ``psi_v`` of shape (n_v, n_r) and conduction
+    orbitals ``psi_c`` of shape (n_c, n_r), returns the pair-density matrix
+    ``P[(i, a), r] = conj(psi_v[i, r]) * psi_c[a, r]`` of shape
+    (n_v * n_c, n_r) — exactly the ``P_vc`` of the paper's Fig. 1.
+    """
+    psi_v = np.atleast_2d(np.asarray(psi_v, dtype=complex))
+    psi_c = np.atleast_2d(np.asarray(psi_c, dtype=complex))
+    if psi_v.shape[1] != psi_c.shape[1]:
+        raise PhysicsError(
+            f"grid mismatch: {psi_v.shape[1]} vs {psi_c.shape[1]} points"
+        )
+    n_v, n_r = psi_v.shape
+    n_c = psi_c.shape[0]
+    pairs = (psi_v.conj()[:, None, :] * psi_c[None, :, :]).reshape(n_v * n_c, n_r)
+    if counters is not None:
+        elements = n_v * n_c * n_r
+        counters.record(
+            "face_split",
+            flops=FLOPS_PER_COMPLEX_MUL * elements,
+            bytes_read=(n_v + n_c) * n_r * COMPLEX_BYTES
+            + elements * 0,  # operands are re-read from cache in the model
+            bytes_written=elements * COMPLEX_BYTES,
+        )
+    return pairs
+
+
+def gemm(
+    a: np.ndarray, b: np.ndarray, counters: KernelCounters | None = None
+) -> np.ndarray:
+    """Complex GEMM ``a @ b`` with ``8 m n k`` FLOP accounting."""
+    a = np.asarray(a, dtype=complex)
+    b = np.asarray(b, dtype=complex)
+    if a.shape[-1] != b.shape[0]:
+        raise PhysicsError(f"GEMM shape mismatch: {a.shape} @ {b.shape}")
+    out = a @ b
+    if counters is not None:
+        m, k = a.shape if a.ndim == 2 else (1, a.shape[0])
+        n = b.shape[1] if b.ndim == 2 else 1
+        counters.record(
+            "gemm",
+            flops=FLOPS_PER_COMPLEX_MAC * m * n * k,
+            bytes_read=(m * k + k * n) * COMPLEX_BYTES,
+            bytes_written=m * n * COMPLEX_BYTES,
+        )
+    return out
+
+
+def syevd(
+    h: np.ndarray, counters: KernelCounters | None = None
+) -> tuple[np.ndarray, np.ndarray]:
+    """Dense Hermitian eigendecomposition (LAPACK *syevd path).
+
+    Returns (eigenvalues ascending, eigenvectors as columns).  Raises
+    :class:`PhysicsError` if the input is not Hermitian — the LR-TDDFT
+    response matrix must be, so a violation is an assembly bug.
+    """
+    h = np.asarray(h)
+    if h.ndim != 2 or h.shape[0] != h.shape[1]:
+        raise PhysicsError(f"SYEVD needs a square matrix, got {h.shape}")
+    if not np.allclose(h, h.conj().T, atol=1e-8 * max(1.0, float(np.abs(h).max()))):
+        raise PhysicsError("SYEVD input is not Hermitian")
+    eigenvalues, eigenvectors = scipy.linalg.eigh(h, driver="evd")
+    if counters is not None:
+        n = h.shape[0]
+        counters.record(
+            "syevd",
+            flops=SYEVD_FLOP_COEFF * float(n) ** 3,
+            bytes_read=n * n * COMPLEX_BYTES,
+            bytes_written=(n * n + n) * COMPLEX_BYTES,
+        )
+    return eigenvalues, eigenvectors
+
+
+def pointwise_multiply(
+    field_array: np.ndarray,
+    multiplier: np.ndarray,
+    counters: KernelCounters | None = None,
+) -> np.ndarray:
+    """Elementwise product used to apply diagonal kernels (f_H in G space,
+    f_xc in real space) to batches of pair densities."""
+    field_array = np.asarray(field_array)
+    out = field_array * multiplier
+    if counters is not None:
+        elements = int(np.prod(field_array.shape))
+        counters.record(
+            "pointwise",
+            flops=FLOPS_PER_COMPLEX_MUL * elements,
+            bytes_read=elements * COMPLEX_BYTES + np.asarray(multiplier).nbytes,
+            bytes_written=elements * COMPLEX_BYTES,
+        )
+    return out

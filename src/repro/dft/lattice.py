@@ -1,0 +1,165 @@
+"""Crystalline-silicon supercell builder.
+
+The paper evaluates LR-TDDFT on diamond-cubic silicon supercells with 16 to
+2048 atoms (Si_16 ... Si_2048, §V).  This module builds those cells: lattice
+vectors, fractional/cartesian atomic positions, and reciprocal-space metadata
+consumed by :mod:`repro.dft.basis`.
+
+All lengths are in Bohr (Hartree atomic units).
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.errors import ConfigError
+from repro.units import ANGSTROM_TO_BOHR
+
+#: Experimental lattice constant of silicon (conventional cubic cell), Bohr.
+A_SILICON = 5.431 * ANGSTROM_TO_BOHR
+
+#: Fractional coordinates of the 8 atoms in the conventional diamond cell:
+#: an FCC lattice plus the same lattice displaced by (1/4, 1/4, 1/4).
+DIAMOND_BASIS = np.array(
+    [
+        [0.00, 0.00, 0.00],
+        [0.00, 0.50, 0.50],
+        [0.50, 0.00, 0.50],
+        [0.50, 0.50, 0.00],
+        [0.25, 0.25, 0.25],
+        [0.25, 0.75, 0.75],
+        [0.75, 0.25, 0.75],
+        [0.75, 0.75, 0.25],
+    ]
+)
+
+ATOMS_PER_CONVENTIONAL_CELL = len(DIAMOND_BASIS)
+
+
+@dataclass(frozen=True)
+class Crystal:
+    """An atomic crystal in a periodic supercell.
+
+    Attributes
+    ----------
+    lattice:
+        3x3 array, rows are the supercell lattice vectors in Bohr.
+    frac_positions:
+        (n_atoms, 3) fractional atomic coordinates in [0, 1).
+    species:
+        Tuple of chemical symbols, one per atom.
+    """
+
+    lattice: np.ndarray
+    frac_positions: np.ndarray
+    species: tuple[str, ...] = field(default=())
+
+    def __post_init__(self) -> None:
+        lattice = np.asarray(self.lattice, dtype=float)
+        frac = np.asarray(self.frac_positions, dtype=float)
+        if lattice.shape != (3, 3):
+            raise ConfigError(f"lattice must be 3x3, got {lattice.shape}")
+        if frac.ndim != 2 or frac.shape[1] != 3:
+            raise ConfigError(f"frac_positions must be (n, 3), got {frac.shape}")
+        if abs(float(np.linalg.det(lattice))) < 1e-12:
+            raise ConfigError("lattice vectors are linearly dependent")
+        species = self.species or ("Si",) * len(frac)
+        if len(species) != len(frac):
+            raise ConfigError(
+                f"{len(species)} species for {len(frac)} positions"
+            )
+        object.__setattr__(self, "lattice", lattice)
+        object.__setattr__(self, "frac_positions", np.mod(frac, 1.0))
+        object.__setattr__(self, "species", tuple(species))
+
+    @property
+    def n_atoms(self) -> int:
+        """Number of atoms in the supercell."""
+        return len(self.frac_positions)
+
+    @property
+    def volume(self) -> float:
+        """Supercell volume in Bohr^3."""
+        return abs(float(np.linalg.det(self.lattice)))
+
+    @property
+    def reciprocal(self) -> np.ndarray:
+        """Reciprocal lattice vectors (rows), in Bohr^-1, with the physics
+        convention ``B = 2*pi * inv(A)^T`` so that ``A @ B.T = 2*pi*I``."""
+        return 2.0 * math.pi * np.linalg.inv(self.lattice).T
+
+    @property
+    def cart_positions(self) -> np.ndarray:
+        """(n_atoms, 3) cartesian atomic positions in Bohr."""
+        return self.frac_positions @ self.lattice
+
+    def structure_factor(self, g_cart: np.ndarray) -> np.ndarray:
+        """Structure factor ``S(G) = sum_atoms exp(-i G . tau)`` for a batch
+        of cartesian G vectors of shape (n_g, 3).
+
+        The 1/n_atoms normalization is *not* applied; callers that want the
+        per-atom form factor convention divide by :attr:`n_atoms`.
+        """
+        g_cart = np.atleast_2d(np.asarray(g_cart, dtype=float))
+        phases = g_cart @ self.cart_positions.T
+        return np.exp(-1j * phases).sum(axis=1)
+
+
+def supercell_dims(n_cells: int) -> tuple[int, int, int]:
+    """Factor ``n_cells`` into a near-cubic (na, nb, nc) repetition.
+
+    Matches the paper's progression: Si_16 -> (2,1,1) conventional cells,
+    Si_64 -> (2,2,2), Si_1024 -> (8,4,4), Si_2048 -> (8,8,4).
+    """
+    if n_cells < 1:
+        raise ConfigError(f"n_cells must be >= 1, got {n_cells}")
+    best: tuple[int, int, int] | None = None
+    best_score: tuple[int, int] | None = None
+    for na in range(1, n_cells + 1):
+        if n_cells % na:
+            continue
+        rest = n_cells // na
+        for nb in range(1, rest + 1):
+            if rest % nb:
+                continue
+            nc = rest // nb
+            dims = tuple(sorted((na, nb, nc), reverse=True))
+            # Prefer the most cubic factorization: minimize spread, then
+            # the largest dimension.
+            score = (dims[0] - dims[2], dims[0])
+            if best_score is None or score < best_score:
+                best_score = score
+                best = dims  # type: ignore[assignment]
+    assert best is not None
+    return best
+
+
+def silicon_supercell(n_atoms: int) -> Crystal:
+    """Build a diamond-cubic silicon supercell with ``n_atoms`` atoms.
+
+    ``n_atoms`` must be a multiple of 8 (the conventional-cell atom count);
+    this covers every system in the paper (Si_16 ... Si_2048) plus the small
+    Si_8 cell used throughout the test suite.
+    """
+    if n_atoms <= 0 or n_atoms % ATOMS_PER_CONVENTIONAL_CELL:
+        raise ConfigError(
+            f"n_atoms must be a positive multiple of "
+            f"{ATOMS_PER_CONVENTIONAL_CELL}, got {n_atoms}"
+        )
+    dims = supercell_dims(n_atoms // ATOMS_PER_CONVENTIONAL_CELL)
+    lattice = np.diag([A_SILICON * d for d in dims])
+    shifts = np.array(
+        [
+            [i, j, k]
+            for i in range(dims[0])
+            for j in range(dims[1])
+            for k in range(dims[2])
+        ],
+        dtype=float,
+    )
+    frac = (DIAMOND_BASIS[None, :, :] + shifts[:, None, :]).reshape(-1, 3)
+    frac /= np.array(dims, dtype=float)
+    return Crystal(lattice=lattice, frac_positions=frac)

@@ -1,0 +1,124 @@
+"""Local-density exchange-correlation functional and the adiabatic kernel.
+
+LR-TDDFT needs two things from the XC side (Fig. 1 of the paper):
+
+- the ground-state potential ``v_xc(rho)`` entering the Kohn-Sham-style
+  Hamiltonian, and
+- the adiabatic kernel ``f_xc(rho) = d v_xc / d rho`` applied to pair
+  densities when assembling the response matrix.
+
+We implement Slater exchange plus Perdew-Zunger (PZ81) correlation, all in
+Hartree atomic units, with analytic derivatives for exchange and the PZ
+high/low-density branches.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import PhysicsError
+
+# Slater exchange: eps_x(rho) = C_X * rho^(1/3), C_X = -(3/4)(3/pi)^(1/3)
+_CX = -(3.0 / 4.0) * (3.0 / np.pi) ** (1.0 / 3.0)
+
+# PZ81 correlation parameters (unpolarized)
+_PZ_GAMMA = -0.1423
+_PZ_BETA1 = 1.0529
+_PZ_BETA2 = 0.3334
+_PZ_A = 0.0311
+_PZ_B = -0.048
+_PZ_C = 0.0020
+_PZ_D = -0.0116
+
+_RHO_FLOOR = 1e-12
+
+
+def _rs(rho: np.ndarray) -> np.ndarray:
+    """Wigner-Seitz radius for a density array (clipped below at the floor)."""
+    rho = np.maximum(rho, _RHO_FLOOR)
+    return (3.0 / (4.0 * np.pi * rho)) ** (1.0 / 3.0)
+
+
+def exchange_energy_density(rho: np.ndarray) -> np.ndarray:
+    """Slater exchange energy per particle, eps_x(rho), Hartree."""
+    rho = np.maximum(np.asarray(rho, dtype=float), 0.0)
+    return _CX * np.cbrt(rho)
+
+
+def exchange_potential(rho: np.ndarray) -> np.ndarray:
+    """v_x = d(rho * eps_x)/d rho = (4/3) eps_x."""
+    return (4.0 / 3.0) * exchange_energy_density(rho)
+
+
+def exchange_kernel(rho: np.ndarray) -> np.ndarray:
+    """f_x = d v_x / d rho = (4/9) C_X rho^(-2/3) (negative, diverges at 0)."""
+    rho = np.maximum(np.asarray(rho, dtype=float), _RHO_FLOOR)
+    return (4.0 / 9.0) * _CX * rho ** (-2.0 / 3.0)
+
+
+def correlation_energy_density(rho: np.ndarray) -> np.ndarray:
+    """PZ81 correlation energy per particle, eps_c(rho), Hartree."""
+    rs = _rs(np.asarray(rho, dtype=float))
+    low = rs >= 1.0
+    eps = np.empty_like(rs)
+    sq = np.sqrt(rs[low])
+    eps[low] = _PZ_GAMMA / (1.0 + _PZ_BETA1 * sq + _PZ_BETA2 * rs[low])
+    lr = np.log(rs[~low])
+    eps[~low] = (
+        _PZ_A * lr + _PZ_B + _PZ_C * rs[~low] * lr + _PZ_D * rs[~low]
+    )
+    return eps
+
+
+def correlation_potential(rho: np.ndarray) -> np.ndarray:
+    """v_c = eps_c - (rs/3) d eps_c / d rs (standard LDA relation)."""
+    rho = np.asarray(rho, dtype=float)
+    rs = _rs(rho)
+    low = rs >= 1.0
+    vc = np.empty_like(rs)
+
+    sq = np.sqrt(rs[low])
+    denom = 1.0 + _PZ_BETA1 * sq + _PZ_BETA2 * rs[low]
+    eps_low = _PZ_GAMMA / denom
+    deps_drs = -eps_low * (0.5 * _PZ_BETA1 / sq + _PZ_BETA2) / denom
+    vc[low] = eps_low - (rs[low] / 3.0) * deps_drs
+
+    lr = np.log(rs[~low])
+    deps_drs_high = _PZ_A / rs[~low] + _PZ_C * (lr + 1.0) + _PZ_D
+    eps_high = _PZ_A * lr + _PZ_B + _PZ_C * rs[~low] * lr + _PZ_D * rs[~low]
+    vc[~low] = eps_high - (rs[~low] / 3.0) * deps_drs_high
+    return vc
+
+
+def correlation_kernel(rho: np.ndarray, delta: float = 1e-6) -> np.ndarray:
+    """f_c = d v_c / d rho via a central finite difference.
+
+    PZ81's second derivative is piecewise analytic but messy; a relative
+    central difference is accurate to ~1e-8 for the densities that occur in
+    silicon and is what we validate against in the tests.
+    """
+    rho = np.maximum(np.asarray(rho, dtype=float), _RHO_FLOOR)
+    step = np.maximum(rho * delta, _RHO_FLOOR)
+    return (correlation_potential(rho + step) - correlation_potential(rho - step)) / (
+        2.0 * step
+    )
+
+
+def xc_potential(rho: np.ndarray) -> np.ndarray:
+    """Total LDA potential v_xc = v_x + v_c."""
+    return exchange_potential(rho) + correlation_potential(rho)
+
+
+def xc_kernel(rho: np.ndarray, include_correlation: bool = True) -> np.ndarray:
+    """Adiabatic LDA kernel f_xc = d v_xc / d rho evaluated pointwise.
+
+    Raises :class:`PhysicsError` on negative densities: those indicate an
+    upstream bug (densities are |psi|^2 sums), not a physical regime.
+    """
+    rho = np.asarray(rho, dtype=float)
+    if np.any(rho < -1e-10):
+        raise PhysicsError(f"negative density passed to xc_kernel: min={rho.min()}")
+    result = exchange_kernel(rho)
+    if include_correlation:
+        result = result + correlation_kernel(rho)
+    return result

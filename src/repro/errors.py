@@ -1,0 +1,49 @@
+"""Exception hierarchy for the NDFT reproduction.
+
+Every subsystem raises a subclass of :class:`ReproError` so callers can
+distinguish library failures from programming errors.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the ``repro`` package."""
+
+
+class ConfigError(ReproError):
+    """A hardware or workload configuration is inconsistent."""
+
+
+class OutOfMemoryError(ReproError):
+    """A simulated memory (DRAM, SPM, GPU HBM) cannot satisfy an allocation.
+
+    Mirrors the OOM failures the paper reports for replicated pseudopotential
+    layouts on many-core NDP systems (§III-B).
+    """
+
+    def __init__(self, message: str, *, requested: int = 0, available: int = 0):
+        super().__init__(message)
+        self.requested = requested
+        self.available = available
+
+
+class AllocationError(ReproError):
+    """A shared-memory allocation request was malformed (not capacity)."""
+
+
+class SchedulingError(ReproError):
+    """The offload scheduler was given an unsatisfiable problem."""
+
+
+class CommunicationError(ReproError):
+    """A simulated MPI or shared-memory communication primitive was misused."""
+
+
+class SimulationError(ReproError):
+    """The discrete-event engine reached an inconsistent state."""
+
+
+class PhysicsError(ReproError):
+    """A DFT/LR-TDDFT computation produced an invalid result (e.g. a
+    non-Hermitian response matrix or negative excitation energy)."""

@@ -1,0 +1,136 @@
+"""Design-point ablations for the choices §IV calls out.
+
+1. **Offload granularity** (§IV-A1): Eq. 1 overhead at instruction, basic
+   block, function and whole-kernel granularity.  Function granularity
+   should carry negligible overhead while instruction/block granularity
+   pays orders of magnitude more — the paper's justification for
+   function-level offloading.
+2. **Scheduling policy**: cost-aware vs naive (transfer-blind) vs all-CPU
+   vs all-NDP.  Cost-aware must dominate.
+3. **Shared memory / hierarchical comm** (§IV-B/C): replicated layout vs
+   shared blocks with and without the arbiter filter, measured on the
+   functional runtime (memory, inter-stack traffic, locality).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.framework import NdftFramework
+from repro.core.pipeline import build_pipeline
+from repro.core.scheduler import SchedulingPolicy, granularity_overheads
+from repro.dft.basis import PlaneWaveBasis
+from repro.dft.lattice import silicon_supercell
+from repro.dft.pseudopotential import build_projectors
+from repro.dft.workload import problem_size
+from repro.hw.interconnect import MeshNetwork
+from repro.shmem.api import NdftSharedMemory
+from repro.shmem.pseudo_layout import ReplicatedLayout, SharedBlockLayout
+from repro.units import MiB
+
+
+@dataclass(frozen=True)
+class PolicyAblation:
+    """Predicted totals per scheduling policy for one system size."""
+
+    n_atoms: int
+    totals: dict[str, float]
+
+    @property
+    def cost_aware_wins(self) -> bool:
+        best = min(self.totals.values())
+        return self.totals[SchedulingPolicy.COST_AWARE.value] <= best * 1.0001
+
+
+def run_granularity_ablation(
+    n_atoms: int, framework: NdftFramework | None = None
+) -> dict[str, float]:
+    """Eq. 1 overhead per offload granularity (§IV-A1)."""
+    framework = framework or NdftFramework()
+    pipeline = build_pipeline(problem_size(n_atoms))
+    return granularity_overheads(pipeline, framework.scheduler)
+
+
+def run_policy_ablation(
+    n_atoms: int, framework: NdftFramework | None = None
+) -> PolicyAblation:
+    """Predicted pipeline totals under each scheduling policy."""
+    framework = framework or NdftFramework()
+    pipeline = build_pipeline(problem_size(n_atoms))
+    totals = {
+        policy.value: framework.scheduler.schedule(pipeline, policy).predicted_total
+        for policy in SchedulingPolicy
+    }
+    return PolicyAblation(n_atoms=n_atoms, totals=totals)
+
+
+@dataclass(frozen=True)
+class SharedMemoryAblation:
+    """Functional-runtime comparison of pseudopotential layouts."""
+
+    n_atoms: int
+    replicated_total_bytes: int
+    shared_total_bytes: int
+    inter_stack_bytes_first_pass: int
+    inter_stack_bytes_second_pass: int
+    locality_after_two_passes: float
+
+    @property
+    def memory_reduction_percent(self) -> float:
+        return 100.0 * (1.0 - self.shared_total_bytes / self.replicated_total_bytes)
+
+    @property
+    def filter_effective(self) -> bool:
+        """The hierarchical arbiter should eliminate repeat mesh crossings."""
+        return self.inter_stack_bytes_second_pass == 0
+
+
+def run_shared_memory_ablation(
+    n_atoms: int = 16,
+    n_ranks: int = 8,
+    n_stacks: int = 4,
+    ecut: float = 1.5,
+) -> SharedMemoryAblation:
+    """Exercise both layouts on a real (scaled-down) silicon system."""
+    cell = silicon_supercell(n_atoms)
+    basis = PlaneWaveBasis(cell, ecut=ecut)
+    blocks = tuple(build_projectors(cell, basis))
+
+    replicated = ReplicatedLayout(blocks=blocks, n_ranks=n_ranks)
+    side = int(round(n_stacks**0.5))
+    mesh = MeshNetwork(
+        stacks_x=max(side, 1),
+        stacks_y=max(n_stacks // max(side, 1), 1),
+        link_bandwidth=24e9,
+        hop_latency=40e-9,
+    )
+    runtime = NdftSharedMemory(
+        n_stacks=mesh.n_stacks,
+        units_per_stack=max(1, n_ranks // mesh.n_stacks),
+        capacity_per_stack=256 * MiB,
+        mesh=mesh,
+    )
+    shared = SharedBlockLayout(blocks=blocks, runtime=runtime)
+
+    rng = np.random.default_rng(7)
+    psi = rng.normal(size=(4, basis.n_pw)) + 1j * rng.normal(size=(4, basis.n_pw))
+
+    reference = replicated.apply(psi)
+    first = shared.apply(psi, rank=runtime.n_units - 1)
+    inter_first = runtime.comm.inter_stack_bytes
+    second = shared.apply(psi, rank=runtime.n_units - 1)
+    inter_second = runtime.comm.inter_stack_bytes - inter_first
+
+    if not np.allclose(reference, first) or not np.allclose(reference, second):
+        raise AssertionError("shared-block layout diverged from replicated")
+
+    return SharedMemoryAblation(
+        n_atoms=n_atoms,
+        replicated_total_bytes=replicated.total_bytes,
+        shared_total_bytes=shared.total_bytes,
+        inter_stack_bytes_first_pass=inter_first,
+        inter_stack_bytes_second_pass=inter_second,
+        locality_after_two_passes=runtime.comm.locality_fraction(),
+    )

@@ -1,0 +1,119 @@
+"""Fig. 4: roofline analysis of LR-TDDFT kernels on two system sizes.
+
+The paper plots FFT, face-splitting product, GEMM and SYEVD for Si_64
+("small") and Si_1024 ("large") on the CPU baseline's roofline and draws
+three observations:
+
+1. LR-TDDFT is fundamentally memory-bound (most kernels left of the ridge);
+2. kernels divide cleanly: FFT/face-split memory-bound, GEMM compute-bound;
+3. boundedness is size-dependent: SYEVD is memory-bound in the small
+   system and compute-bound in the large one; GEMM grows more
+   compute-bound with size.
+
+This driver regenerates the chart's data points and re-derives the three
+observations programmatically so the tests can assert them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.baselines import run_cpu_baseline
+from repro.dft.workload import problem_size, stage_workloads
+from repro.hw.config import cpu_baseline_config
+from repro.hw.cpu import CpuModel
+from repro.hw.roofline import RooflineModel, RooflinePoint
+from repro.model import AccessPattern, PhaseName
+from repro.workloads.silicon import LARGE_SYSTEM, SMALL_SYSTEM
+
+#: The kernels Fig. 4 plots (Global Comm has no FLOPs, so no roofline point).
+FIG4_KERNELS = (
+    PhaseName.FFT,
+    PhaseName.FACE_SPLIT,
+    PhaseName.GEMM,
+    PhaseName.SYEVD,
+)
+
+
+@dataclass(frozen=True)
+class RooflineStudy:
+    """All Fig. 4 data points plus the machine roofline."""
+
+    roofline: RooflineModel
+    points: dict[tuple[str, int], RooflinePoint]
+
+    def point(self, kernel: PhaseName, n_atoms: int) -> RooflinePoint:
+        return self.points[(str(kernel), n_atoms)]
+
+    def observation_memory_bound_majority(self) -> bool:
+        """Observation 1: most kernels sit in the memory-bound region."""
+        memory = sum(1 for p in self.points.values() if p.bound == "memory")
+        return memory > len(self.points) / 2
+
+    def observation_kernel_split(self) -> bool:
+        """Observation 2: FFT/face-split memory-bound, GEMM compute-bound,
+        at both sizes."""
+        return all(
+            self.point(PhaseName.FFT, n).bound == "memory"
+            and self.point(PhaseName.FACE_SPLIT, n).bound == "memory"
+            and self.point(PhaseName.GEMM, n).bound == "compute"
+            for n in (SMALL_SYSTEM, LARGE_SYSTEM)
+        )
+
+    def observation_size_dependence(self) -> bool:
+        """Observation 3: SYEVD flips memory -> compute with system size."""
+        return (
+            self.point(PhaseName.SYEVD, SMALL_SYSTEM).bound == "memory"
+            and self.point(PhaseName.SYEVD, LARGE_SYSTEM).bound == "compute"
+        )
+
+
+def run_roofline_study(
+    small: int = SMALL_SYSTEM, large: int = LARGE_SYSTEM
+) -> RooflineStudy:
+    """Regenerate the Fig. 4 data points on the CPU baseline."""
+    machine = CpuModel(cpu_baseline_config())
+    roofline = RooflineModel(
+        name=machine.config.name,
+        peak_flops=machine.config.peak_flops,
+        peak_bandwidth=machine.memory.effective_bandwidth(
+            AccessPattern.SEQUENTIAL
+        ),
+    )
+    points: dict[tuple[str, int], RooflinePoint] = {}
+    for n_atoms in (small, large):
+        problem = problem_size(n_atoms)
+        workloads = stage_workloads(problem)
+        report = run_cpu_baseline(problem)
+        for kernel in FIG4_KERNELS:
+            workload = workloads[kernel]
+            # A memory-side roofline (what VTune reports) uses *DRAM*
+            # traffic, so apply the machine's cache model to the nominal
+            # byte counts before computing arithmetic intensity.
+            dram_bytes = machine.dram_traffic(workload)
+            effective = replace(
+                workload,
+                bytes_read=dram_bytes * 0.5,
+                bytes_written=dram_bytes * 0.5,
+            )
+            measured = report.phase_seconds[str(kernel)]
+            points[(str(kernel), n_atoms)] = roofline.analyze(
+                effective, measured_time=measured
+            )
+    return RooflineStudy(roofline=roofline, points=points)
+
+
+def format_roofline(study: RooflineStudy) -> str:
+    """Fig. 4 as text: one row per (kernel, size) point."""
+    lines = [
+        "Fig. 4 - roofline of LR-TDDFT kernels (CPU baseline)",
+        f"ridge point: {study.roofline.ridge_point:.2f} FLOP/byte",
+        f"{'kernel':<20s} {'system':>8s} {'AI':>8s} {'GFLOP/s':>10s} {'bound':>8s}",
+    ]
+    for (kernel, n_atoms), point in sorted(study.points.items()):
+        lines.append(
+            f"{kernel:<20s} {'Si_' + str(n_atoms):>8s} "
+            f"{point.arithmetic_intensity:8.2f} "
+            f"{point.attained_flops / 1e9:10.2f} {point.bound:>8s}"
+        )
+    return "\n".join(lines)

@@ -1,0 +1,160 @@
+"""Fig. 7: execution-time comparison and per-kernel breakdown.
+
+The paper's Fig. 7 shows stacked-bar breakdowns (FFT, point-point
+multiplication, Global Comm, SYEVD, ...) for CPU, GPU and NDFT on the
+small (Si_64) and large (Si_1024) systems, from which the text quotes:
+
+- NDFT over CPU: 1.9x (small), 5.2x (large);
+- NDFT over GPU: 1.6x (small), 2.5x (large);
+- FFT 11.2x over CPU in the large system;
+- face-splitting product 1.99x over CPU in the small system;
+- GPU GEMM ahead of NDFT's by 35.9 % (small) / 22.2 % (large);
+- memory-bound kernels: NDFT 2.1x / 5.2x over GPU.
+
+This driver produces the three bars per system plus those derived ratios.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.baselines import run_cpu_baseline, run_gpu_baseline
+from repro.core.executor import ExecutionReport
+from repro.core.framework import NdftFramework
+from repro.dft.workload import problem_size
+from repro.experiments.report import Comparison
+from repro.model import MEMORY_BOUND_PHASES, PhaseName
+from repro.workloads.silicon import LARGE_SYSTEM, SMALL_SYSTEM
+
+#: §VI-A quoted numbers used in comparisons.
+PAPER_SPEEDUP_VS_CPU = {SMALL_SYSTEM: 1.9, LARGE_SYSTEM: 5.2}
+PAPER_SPEEDUP_VS_GPU = {SMALL_SYSTEM: 1.6, LARGE_SYSTEM: 2.5}
+PAPER_FFT_SPEEDUP_LARGE = 11.2
+PAPER_FACE_SPLIT_SPEEDUP_SMALL = 1.99
+PAPER_GPU_GEMM_ADVANTAGE = {SMALL_SYSTEM: 35.9, LARGE_SYSTEM: 22.2}
+PAPER_MEM_KERNEL_SPEEDUP_VS_GPU = {SMALL_SYSTEM: 2.1, LARGE_SYSTEM: 5.2}
+
+
+@dataclass(frozen=True)
+class BreakdownStudy:
+    """The three Fig. 7 bars for one physical system."""
+
+    n_atoms: int
+    cpu: ExecutionReport
+    gpu: ExecutionReport
+    ndft_breakdown: dict[str, float]
+    ndft_total: float
+    scheduling_overhead: float
+
+    @property
+    def speedup_vs_cpu(self) -> float:
+        return self.cpu.total_time / self.ndft_total
+
+    @property
+    def speedup_vs_gpu(self) -> float:
+        return self.gpu.total_time / self.ndft_total
+
+    def kernel_speedup_vs_cpu(self, phase: PhaseName) -> float:
+        return self.cpu.phase_seconds[str(phase)] / self.ndft_breakdown[str(phase)]
+
+    def gpu_gemm_advantage_percent(self) -> float:
+        """How much faster the GPU runs GEMM than NDFT's host CPU does."""
+        ndft = self.ndft_breakdown[str(PhaseName.GEMM)]
+        gpu = self.gpu.phase_seconds[str(PhaseName.GEMM)]
+        return 100.0 * (ndft / gpu - 1.0)
+
+    def memory_kernel_speedup_vs_gpu(self) -> float:
+        names = [str(p) for p in MEMORY_BOUND_PHASES]
+        ndft = sum(self.ndft_breakdown[n] for n in names)
+        gpu = sum(self.gpu.phase_seconds[n] for n in names)
+        return gpu / ndft
+
+
+def run_breakdown(
+    n_atoms: int, framework: NdftFramework | None = None
+) -> BreakdownStudy:
+    """Produce the Fig. 7 bars for Si_{n_atoms}."""
+    framework = framework or NdftFramework()
+    problem = problem_size(n_atoms)
+    ndft = framework.run(problem=problem)
+    return BreakdownStudy(
+        n_atoms=n_atoms,
+        cpu=run_cpu_baseline(problem),
+        gpu=run_gpu_baseline(problem),
+        ndft_breakdown=ndft.report.phase_seconds,
+        ndft_total=ndft.total_time,
+        scheduling_overhead=ndft.report.scheduling_overhead,
+    )
+
+
+def breakdown_comparisons(study: BreakdownStudy) -> list[Comparison]:
+    """Every §VI-A quoted number this system size supports."""
+    n = study.n_atoms
+    comparisons = [
+        Comparison(
+            f"Si_{n}: NDFT speedup vs CPU",
+            PAPER_SPEEDUP_VS_CPU.get(n),
+            round(study.speedup_vs_cpu, 2),
+            "x",
+        ),
+        Comparison(
+            f"Si_{n}: NDFT speedup vs GPU",
+            PAPER_SPEEDUP_VS_GPU.get(n),
+            round(study.speedup_vs_gpu, 2),
+            "x",
+        ),
+        Comparison(
+            f"Si_{n}: memory-bound kernels vs GPU",
+            PAPER_MEM_KERNEL_SPEEDUP_VS_GPU.get(n),
+            round(study.memory_kernel_speedup_vs_gpu(), 2),
+            "x",
+        ),
+        Comparison(
+            f"Si_{n}: GPU GEMM advantage over NDFT",
+            PAPER_GPU_GEMM_ADVANTAGE.get(n),
+            round(study.gpu_gemm_advantage_percent(), 1),
+            "%",
+        ),
+    ]
+    if n == LARGE_SYSTEM:
+        comparisons.append(
+            Comparison(
+                f"Si_{n}: FFT speedup vs CPU",
+                PAPER_FFT_SPEEDUP_LARGE,
+                round(study.kernel_speedup_vs_cpu(PhaseName.FFT), 2),
+                "x",
+            )
+        )
+    if n == SMALL_SYSTEM:
+        comparisons.append(
+            Comparison(
+                f"Si_{n}: face-split speedup vs CPU",
+                PAPER_FACE_SPLIT_SPEEDUP_SMALL,
+                round(study.kernel_speedup_vs_cpu(PhaseName.FACE_SPLIT), 2),
+                "x",
+            )
+        )
+    return comparisons
+
+
+def format_breakdown(study: BreakdownStudy) -> str:
+    """The stacked-bar data as text rows."""
+    lines = [
+        f"Fig. 7 - execution breakdown, Si_{study.n_atoms}",
+        f"{'phase':<18s} {'CPU (s)':>10s} {'GPU (s)':>10s} {'NDFT (s)':>10s}",
+    ]
+    for name in study.cpu.phase_seconds:
+        lines.append(
+            f"{name:<18s} {study.cpu.phase_seconds[name]:10.4f} "
+            f"{study.gpu.phase_seconds[name]:10.4f} "
+            f"{study.ndft_breakdown[name]:10.4f}"
+        )
+    lines.append(
+        f"{'scheduling':<18s} {0.0:10.4f} {0.0:10.4f} "
+        f"{study.scheduling_overhead:10.4f}"
+    )
+    lines.append(
+        f"{'TOTAL':<18s} {study.cpu.total_time:10.4f} "
+        f"{study.gpu.total_time:10.4f} {study.ndft_total:10.4f}"
+    )
+    return "\n".join(lines)

@@ -1,0 +1,43 @@
+"""Paper-vs-measured reporting helpers shared by all experiment drivers."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """One reported quantity next to the paper's value."""
+
+    metric: str
+    paper: float | None
+    measured: float
+    unit: str = ""
+
+    @property
+    def ratio(self) -> float | None:
+        """measured / paper, or None when the paper gives no number."""
+        if self.paper in (None, 0):
+            return None
+        return self.measured / self.paper
+
+    def row(self) -> str:
+        paper_text = f"{self.paper:.3g}" if self.paper is not None else "(figure)"
+        ratio = self.ratio
+        ratio_text = f"{ratio:.2f}" if ratio is not None else "  - "
+        return (
+            f"{self.metric:<46s} {paper_text:>9s} {self.measured:>9.3g} "
+            f"{ratio_text:>6s} {self.unit}"
+        )
+
+
+def format_table(title: str, comparisons: list[Comparison]) -> str:
+    """Render a paper-vs-measured table as monospace text."""
+    header = (
+        f"{'metric':<46s} {'paper':>9s} {'measured':>9s} {'m/p':>6s}"
+    )
+    rule = "-" * len(header)
+    lines = [title, rule, header, rule]
+    lines.extend(c.row() for c in comparisons)
+    lines.append(rule)
+    return "\n".join(lines)

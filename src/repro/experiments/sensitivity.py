@@ -1,0 +1,160 @@
+"""Design-space sensitivity studies (extensions beyond the paper).
+
+The paper fixes one CPU-NDP design point (Table III).  These sweeps vary
+the co-design parameters DESIGN.md calls out and report how the headline
+speedup responds — the studies an architect would run next:
+
+- **mesh link bandwidth**: Global Comm is the least-accelerated phase; how
+  much headroom do faster SerDes links buy?
+- **stack count**: does the 4x4 mesh saturate, or would 5x5 keep scaling?
+- **host link bandwidth**: the DT term of Eq. 1 scales with it; when does
+  scheduling overhead stop mattering?
+- **NDP units per stack**: wimpy-core count vs per-unit bandwidth share.
+
+Each sweep rebuilds the full framework at the modified design point, so
+scheduling decisions are allowed to change (and sometimes do — that is the
+point of a cost-aware scheduler).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.core.baselines import run_cpu_baseline
+from repro.core.framework import NdftFramework
+from repro.dft.workload import ProblemSize, problem_size
+from repro.errors import ConfigError
+from repro.hw.config import SystemConfig, ndft_system_config
+
+
+@dataclass(frozen=True)
+class SensitivityPoint:
+    """One design point of a sweep."""
+
+    parameter: str
+    value: float
+    speedup_vs_cpu: float
+    scheduling_overhead_pct: float
+    ndp_phase_count: int
+
+
+def _run_point(
+    system: SystemConfig, problem: ProblemSize, parameter: str, value: float
+) -> SensitivityPoint:
+    framework = NdftFramework(system=system)
+    result = framework.run(problem=problem)
+    cpu_total = run_cpu_baseline(problem).total_time
+    ndp_phases = sum(
+        1 for placement in result.schedule.assignments.values()
+        if str(placement) == "ndp"
+    )
+    return SensitivityPoint(
+        parameter=parameter,
+        value=value,
+        speedup_vs_cpu=cpu_total / result.total_time,
+        scheduling_overhead_pct=100.0 * result.scheduling_overhead_fraction,
+        ndp_phase_count=ndp_phases,
+    )
+
+
+def sweep_mesh_link_bandwidth(
+    n_atoms: int = 1024,
+    bandwidths: tuple[float, ...] = (12e9, 24e9, 48e9, 96e9, 192e9),
+) -> list[SensitivityPoint]:
+    """Vary the per-link SerDes bandwidth of the 4x4 stack mesh."""
+    if not bandwidths:
+        raise ConfigError("at least one bandwidth required")
+    base = ndft_system_config()
+    problem = problem_size(n_atoms)
+    points = []
+    for bandwidth in bandwidths:
+        system = SystemConfig(
+            host=base.host,
+            ndp=replace(base.ndp, mesh_link_bandwidth=bandwidth),
+            context_switch_overhead=base.context_switch_overhead,
+        )
+        points.append(
+            _run_point(system, problem, "mesh_link_bandwidth", bandwidth)
+        )
+    return points
+
+
+def sweep_stack_count(
+    n_atoms: int = 1024,
+    mesh_sides: tuple[int, ...] = (2, 3, 4, 5, 6),
+) -> list[SensitivityPoint]:
+    """Vary the mesh from 2x2 to 6x6 stacks (capacity and bandwidth scale
+    with the stack count; per-stack resources stay at Table III values)."""
+    base = ndft_system_config()
+    problem = problem_size(n_atoms)
+    points = []
+    for side in mesh_sides:
+        if side < 1:
+            raise ConfigError("mesh side must be >= 1")
+        system = SystemConfig(
+            host=base.host,
+            ndp=replace(base.ndp, stacks_x=side, stacks_y=side),
+            context_switch_overhead=base.context_switch_overhead,
+        )
+        points.append(_run_point(system, problem, "stacks", side * side))
+    return points
+
+
+def sweep_host_link_bandwidth(
+    n_atoms: int = 1024,
+    bandwidths: tuple[float, ...] = (32e9, 64e9, 128e9, 256e9, 512e9),
+) -> list[SensitivityPoint]:
+    """Vary the CPU <-> memory-network link (the DT denominator of Eq. 1)."""
+    base = ndft_system_config()
+    problem = problem_size(n_atoms)
+    points = []
+    for bandwidth in bandwidths:
+        system = SystemConfig(
+            host=base.host,
+            ndp=replace(base.ndp, host_link_bandwidth=bandwidth),
+            context_switch_overhead=base.context_switch_overhead,
+        )
+        points.append(
+            _run_point(system, problem, "host_link_bandwidth", bandwidth)
+        )
+    return points
+
+
+def sweep_units_per_stack(
+    n_atoms: int = 1024,
+    unit_counts: tuple[int, ...] = (2, 4, 8, 16),
+) -> list[SensitivityPoint]:
+    """Vary NDP units per stack.  More units add cores but split the same
+    per-stack internal bandwidth into thinner shares."""
+    base = ndft_system_config()
+    problem = problem_size(n_atoms)
+    points = []
+    for units in unit_counts:
+        if units < 1:
+            raise ConfigError("units per stack must be >= 1")
+        ndp = replace(
+            base.ndp,
+            units_per_stack=units,
+            # Keep Table III's per-stack SPM budget: re-derive per-core.
+            spm_per_core=base.ndp.spm_per_stack // (units * base.ndp.cores_per_unit),
+        )
+        system = SystemConfig(
+            host=base.host,
+            ndp=ndp,
+            context_switch_overhead=base.context_switch_overhead,
+        )
+        points.append(_run_point(system, problem, "units_per_stack", units))
+    return points
+
+
+def format_sweep(title: str, points: list[SensitivityPoint]) -> str:
+    lines = [
+        title,
+        f"{'value':>14s} {'speedup':>9s} {'sched %':>9s} {'NDP phases':>11s}",
+    ]
+    for point in points:
+        lines.append(
+            f"{point.value:>14.3g} {point.speedup_vs_cpu:>9.2f} "
+            f"{point.scheduling_overhead_pct:>9.2f} {point.ndp_phase_count:>11d}"
+        )
+    return "\n".join(lines)

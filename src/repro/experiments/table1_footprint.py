@@ -1,0 +1,52 @@
+"""Table I: memory footprint of pseudopotentials in CPU and NDP systems.
+
+Regenerates the four rows (NDP/CPU x small/large) from the mechanistic
+footprint model and pairs them with the paper's published values.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.report import Comparison, format_table
+from repro.shmem.footprint import FootprintReport, table1_rows
+from repro.workloads.silicon import LARGE_SYSTEM, SMALL_SYSTEM
+
+#: The paper's Table I: label -> (GB, percent of system memory).
+PAPER_TABLE1 = {
+    "NDP in Small system": (4.43, 6.92),
+    "CPU in Small system": (1.84, 2.88),
+    "NDP in Large system": (35.3, 55.15),
+    "CPU in Large system": (13.8, 21.56),
+}
+
+
+def run_table1(
+    small: int = SMALL_SYSTEM, large: int = LARGE_SYSTEM
+) -> list[FootprintReport]:
+    """The four Table I rows, measured from the footprint model."""
+    return table1_rows(small_atoms=small, large_atoms=large)
+
+
+def table1_comparisons() -> list[Comparison]:
+    """Paper-vs-measured for every cell of Table I."""
+    comparisons = []
+    for row in run_table1():
+        paper_gb, paper_pct = PAPER_TABLE1[row.label]
+        comparisons.append(
+            Comparison(
+                metric=f"{row.label} (GB)", paper=paper_gb,
+                measured=round(row.gigabytes, 2), unit="GB",
+            )
+        )
+        comparisons.append(
+            Comparison(
+                metric=f"{row.label} (%)", paper=paper_pct,
+                measured=round(row.percent_of_memory, 2), unit="%",
+            )
+        )
+    return comparisons
+
+
+def format_table1() -> str:
+    return format_table(
+        "Table I - pseudopotential memory footprint", table1_comparisons()
+    )

@@ -1,0 +1,52 @@
+"""Hardware simulation substrate (the zsim + Ramulator substitute).
+
+The paper evaluates NDFT on a simulated CPU-NDP system (Table III) against
+real CPU and GPU baselines.  This package models all three machines at the
+functional/cycle-model level: analytic streaming-time kernels layered over
+explicit DRAM-channel, cache, scratchpad and interconnect models, with a
+discrete-event engine for pipeline-level contention.
+
+Entry points:
+
+- :func:`repro.hw.config.ndft_system_config` — the Table III CPU-NDP system.
+- :func:`repro.hw.config.cpu_baseline_config` — 2x Xeon E5-2695.
+- :func:`repro.hw.config.gpu_baseline_config` — 2x V100 (DGX-1).
+- :class:`repro.hw.cpu.CpuModel`, :class:`repro.hw.ndp.NdpSystemModel`,
+  :class:`repro.hw.gpu.GpuModel` — per-machine kernel timing.
+- :class:`repro.hw.roofline.RooflineModel` — Fig. 4 analysis.
+- :class:`repro.hw.engine.Engine` — discrete-event simulation core.
+"""
+
+from repro.hw.config import (
+    CpuConfig,
+    GpuConfig,
+    NdpConfig,
+    SystemConfig,
+    cpu_baseline_config,
+    gpu_baseline_config,
+    ndft_system_config,
+)
+from repro.hw.cpu import CpuModel
+from repro.hw.ndp import NdpSystemModel
+from repro.hw.gpu import GpuModel
+from repro.hw.roofline import RooflineModel, RooflinePoint
+from repro.hw.engine import Engine, SimProcess
+from repro.hw.timing import PhaseTime
+
+__all__ = [
+    "CpuConfig",
+    "GpuConfig",
+    "NdpConfig",
+    "SystemConfig",
+    "cpu_baseline_config",
+    "gpu_baseline_config",
+    "ndft_system_config",
+    "CpuModel",
+    "NdpSystemModel",
+    "GpuModel",
+    "RooflineModel",
+    "RooflinePoint",
+    "Engine",
+    "SimProcess",
+    "PhaseTime",
+]

@@ -1,0 +1,127 @@
+"""CPU machine model (the standalone baseline and the CPU-NDP host).
+
+Kernel time follows the overlap (roofline) rule:
+
+    time = max(flops / effective_flops, dram_bytes / effective_bandwidth)
+           + dispatch overhead
+
+where effective FLOP rate folds in per-pattern issue efficiency and thread
+utilization, and DRAM traffic is the nominal kernel traffic discounted by
+the working-set cache model.  Intra-node MPI collectives (the CPU
+baseline's Global Comm) are memcpy-shaped: the payload crosses the memory
+system ~3 times (pack, move, unpack), which the ``MEMCPY_PASSES`` constant
+captures.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.hw.cache import CacheHierarchy
+from repro.hw.config import CpuConfig
+from repro.hw.dram import DramModel, ddr4_memory
+from repro.hw.timing import PhaseTime
+from repro.model import AccessPattern, KernelWorkload
+
+#: Fraction of peak FLOP rate a tuned kernel sustains, per access pattern.
+CPU_COMPUTE_EFFICIENCY = {
+    AccessPattern.SEQUENTIAL: 0.60,
+    AccessPattern.STRIDED: 0.50,
+    AccessPattern.BLOCKED: 0.85,   # GEMM-class blocked kernels
+    AccessPattern.IRREGULAR: 0.30,
+}
+
+#: Memory-system passes an intra-node alltoall pays (pack+move or
+#: move+unpack, overlapped): each payload byte is read and written.
+MEMCPY_PASSES = 2.0
+
+#: memcpy-shaped traffic sustains this fraction of peak bandwidth
+#: (better than IRREGULAR: the copies themselves are sequential).
+MEMCPY_EFFICIENCY = 0.70
+
+#: Fixed parallel-region dispatch cost per kernel invocation.
+CPU_DISPATCH_OVERHEAD = 2.0e-5
+
+
+@dataclass
+class CpuModel:
+    """Analytic timing model for one CPU machine."""
+
+    config: CpuConfig
+    memory: DramModel = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.memory is None:
+            self.memory = ddr4_memory(
+                peak_bandwidth=self.config.memory_bandwidth,
+                latency=self.config.memory_latency,
+            )
+        self.caches = CacheHierarchy(
+            l1=self.config.l1_data, l2=self.config.l2, l3=self.config.l3
+        )
+
+    # ------------------------------------------------------------------
+    # Derived rates
+    # ------------------------------------------------------------------
+    def effective_flops(self, workload: KernelWorkload) -> float:
+        utilization = min(1.0, workload.parallel_tasks / self.config.total_cores)
+        return (
+            self.config.peak_flops
+            * CPU_COMPUTE_EFFICIENCY[workload.access_pattern]
+            * utilization
+        )
+
+    def effective_bandwidth(self, pattern: AccessPattern) -> float:
+        return self.memory.effective_bandwidth(pattern)
+
+    def dram_traffic(self, workload: KernelWorkload) -> float:
+        """Nominal traffic discounted by the cache model."""
+        factor = self.caches.dram_traffic_factor(
+            workload.working_set, workload.access_pattern
+        )
+        return workload.bytes_total * factor
+
+    # ------------------------------------------------------------------
+    # Kernel execution
+    # ------------------------------------------------------------------
+    def execute(self, workload: KernelWorkload) -> PhaseTime:
+        """Time one kernel on this CPU (all cores cooperating)."""
+        compute_time = (
+            workload.flops / self.effective_flops(workload)
+            if workload.flops
+            else 0.0
+        )
+        traffic = self.dram_traffic(workload)
+        memory_time = (
+            traffic / self.effective_bandwidth(workload.access_pattern)
+            if traffic
+            else 0.0
+        )
+        if workload.comm_bytes:
+            # Intra-node collective: the payload makes MEMCPY_PASSES trips
+            # through the memory system (sequential copies) instead of
+            # crossing a network.  This *replaces* the nominal traffic
+            # estimate: the workload's bytes_read/written describe the same
+            # payload from the application's perspective.
+            memory_time = (workload.comm_bytes * MEMCPY_PASSES) / (
+                self.memory.peak_bandwidth * MEMCPY_EFFICIENCY
+            )
+        return PhaseTime(
+            name=str(workload.name),
+            compute_time=compute_time,
+            memory_time=memory_time,
+            overhead_time=CPU_DISPATCH_OVERHEAD,
+        )
+
+    def ridge_point(self) -> float:
+        """Arithmetic intensity where this CPU turns compute-bound
+        (peak FLOP/s over peak sequential bandwidth)."""
+        return self.config.peak_flops / self.memory.effective_bandwidth(
+            AccessPattern.SEQUENTIAL
+        )
+
+    def validate(self) -> None:
+        """Raise :class:`ConfigError` if the configuration is inconsistent."""
+        if self.config.peak_flops <= 0:
+            raise ConfigError("CPU peak FLOP/s must be positive")

@@ -1,0 +1,124 @@
+"""DRAM channel timing models (the Ramulator substitute).
+
+We model a channel as peak bandwidth derated by an access-pattern
+efficiency, plus a loaded base latency.  That is deliberately coarser than
+a cycle-accurate DRAM simulator, but it preserves what the paper's
+conclusions rest on: the *ratio* between a CPU's external DDR4 bandwidth
+and the internal bandwidth an NDP unit sees inside an HBM2 stack, and the
+penalty irregular access patterns pay on both.
+
+Efficiency values are the standard achievable fractions of peak for each
+pattern class (sequential streams hit ~75-90% of peak on real parts;
+irregular gather/scatter 25-45%), with HBM-internal accesses slightly
+better than DDR because bank-level parallelism is higher relative to the
+request rate.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.model import AccessPattern
+from repro.units import GB
+
+#: Achievable fraction of peak bandwidth per access pattern: DDR-attached.
+DDR_PATTERN_EFFICIENCY = {
+    AccessPattern.SEQUENTIAL: 0.78,
+    AccessPattern.STRIDED: 0.55,
+    AccessPattern.BLOCKED: 0.70,
+    AccessPattern.IRREGULAR: 0.32,
+}
+
+#: Achievable fraction of peak bandwidth per access pattern: HBM-internal
+#: (near-bank accesses from NDP units in the logic layer).  Strided
+#: patterns fare relatively better than on DDR because each unit talks to
+#: its own vault with far more bank parallelism per requester; sequential
+#: streams from 128 concurrent units interleave at the vault level, which
+#: costs some of the efficiency a single sequential stream would get.
+HBM_INTERNAL_PATTERN_EFFICIENCY = {
+    AccessPattern.SEQUENTIAL: 0.65,
+    AccessPattern.STRIDED: 0.72,
+    AccessPattern.BLOCKED: 0.78,
+    AccessPattern.IRREGULAR: 0.48,
+}
+
+#: GPU HBM2 through the full L2/TLB path.
+GPU_HBM_PATTERN_EFFICIENCY = {
+    AccessPattern.SEQUENTIAL: 0.80,
+    AccessPattern.STRIDED: 0.60,
+    AccessPattern.BLOCKED: 0.72,
+    AccessPattern.IRREGULAR: 0.38,
+}
+
+
+@dataclass(frozen=True)
+class DramModel:
+    """A bandwidth/latency model of one memory system."""
+
+    name: str
+    peak_bandwidth: float
+    base_latency: float
+    pattern_efficiency: dict[AccessPattern, float] = field(
+        default_factory=lambda: dict(DDR_PATTERN_EFFICIENCY)
+    )
+
+    def __post_init__(self) -> None:
+        if self.peak_bandwidth <= 0:
+            raise ConfigError(f"{self.name}: bandwidth must be positive")
+        if self.base_latency < 0:
+            raise ConfigError(f"{self.name}: latency must be non-negative")
+        missing = [p for p in AccessPattern if p not in self.pattern_efficiency]
+        if missing:
+            raise ConfigError(f"{self.name}: missing efficiencies for {missing}")
+        for pattern, eff in self.pattern_efficiency.items():
+            if not 0.0 < eff <= 1.0:
+                raise ConfigError(
+                    f"{self.name}: efficiency for {pattern} must be in (0, 1]"
+                )
+
+    def effective_bandwidth(self, pattern: AccessPattern) -> float:
+        return self.peak_bandwidth * self.pattern_efficiency[pattern]
+
+    def access_time(self, nbytes: float, pattern: AccessPattern) -> float:
+        """Seconds to move ``nbytes`` with the given pattern (streaming,
+        latency amortized except the initial access)."""
+        if nbytes < 0:
+            raise ConfigError("byte count must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.base_latency + nbytes / self.effective_bandwidth(pattern)
+
+
+def ddr4_memory(peak_bandwidth: float = 136.6 * GB, latency: float = 90e-9) -> DramModel:
+    """A dual-socket DDR4 memory system (the CPU baseline's)."""
+    return DramModel(
+        name="ddr4",
+        peak_bandwidth=peak_bandwidth,
+        base_latency=latency,
+        pattern_efficiency=dict(DDR_PATTERN_EFFICIENCY),
+    )
+
+
+def hbm2_stack_internal(peak_bandwidth: float, latency: float = 55e-9) -> DramModel:
+    """The internal view of one HBM2 stack from its logic-layer NDP units.
+
+    Latency is lower than a DDR round trip because requests never leave
+    the package (no board trace, no host memory controller queue).
+    """
+    return DramModel(
+        name="hbm2-internal",
+        peak_bandwidth=peak_bandwidth,
+        base_latency=latency,
+        pattern_efficiency=dict(HBM_INTERNAL_PATTERN_EFFICIENCY),
+    )
+
+
+def gpu_hbm(peak_bandwidth: float, latency: float = 120e-9) -> DramModel:
+    """A discrete GPU's HBM2 as seen by its SMs."""
+    return DramModel(
+        name="gpu-hbm2",
+        peak_bandwidth=peak_bandwidth,
+        base_latency=latency,
+        pattern_efficiency=dict(GPU_HBM_PATTERN_EFFICIENCY),
+    )

@@ -1,0 +1,209 @@
+"""Discrete-event simulation engine.
+
+A compact generator-based DES in the simpy style: processes are Python
+generators that yield *commands* (wait for time, acquire/release a
+resource), the engine advances virtual time over a heap of pending events.
+The pipeline executor (:mod:`repro.core.executor`) uses it to serialize
+phases on execution units and to model contention on the host link when
+several offloaded stages transfer concurrently.
+
+Supported commands (yield values):
+
+- ``Engine.timeout(dt)`` — resume after ``dt`` seconds of virtual time.
+- ``resource.acquire()`` — resume once a unit of the resource is granted.
+- ``resource.release()`` — give a unit back (resumes a waiter if any).
+- another :class:`SimProcess` — resume when that process finishes.
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from collections import deque
+from dataclasses import dataclass, field
+from typing import Callable, Generator
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class Timeout:
+    """Command: suspend the process for ``delay`` virtual seconds."""
+
+    delay: float
+
+    def __post_init__(self) -> None:
+        if self.delay < 0:
+            raise SimulationError(f"negative timeout: {self.delay}")
+
+
+@dataclass(frozen=True)
+class Acquire:
+    resource: "Resource"
+
+
+@dataclass(frozen=True)
+class Release:
+    resource: "Resource"
+
+
+Command = Timeout | Acquire | Release
+
+
+class Resource:
+    """A counted resource (e.g. an execution unit or a link)."""
+
+    def __init__(self, engine: "Engine", capacity: int, name: str = "resource"):
+        if capacity < 1:
+            raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
+        self.engine = engine
+        self.capacity = capacity
+        self.name = name
+        self.in_use = 0
+        self.waiters: deque[SimProcess] = deque()
+        #: (time, in_use) samples for utilization reporting.
+        self.usage_log: list[tuple[float, int]] = []
+
+    def acquire(self) -> Acquire:
+        return Acquire(self)
+
+    def release(self) -> Release:
+        return Release(self)
+
+    def _log(self) -> None:
+        self.usage_log.append((self.engine.now, self.in_use))
+
+    def busy_time(self) -> float:
+        """Resource-seconds of occupancy integrated over the log."""
+        total = 0.0
+        for (t0, used), (t1, _unused) in zip(self.usage_log, self.usage_log[1:]):
+            total += used * (t1 - t0)
+        return total
+
+
+class SimProcess:
+    """One running generator inside the engine."""
+
+    _ids = itertools.count()
+
+    def __init__(self, engine: "Engine", generator: Generator, name: str = ""):
+        self.engine = engine
+        self.generator = generator
+        self.name = name or f"process-{next(self._ids)}"
+        self.finished = False
+        self.finish_time: float | None = None
+        self.watchers: list[SimProcess] = []
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "done" if self.finished else "running"
+        return f"SimProcess({self.name}, {state})"
+
+
+class Engine:
+    """The event loop: a heap of (time, seq, callback)."""
+
+    def __init__(self) -> None:
+        self.now = 0.0
+        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._seq = itertools.count()
+        self._active = 0
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    @staticmethod
+    def timeout(delay: float) -> Timeout:
+        return Timeout(delay)
+
+    def resource(self, capacity: int, name: str = "resource") -> Resource:
+        return Resource(self, capacity, name)
+
+    def spawn(self, generator: Generator, name: str = "") -> SimProcess:
+        """Register a process; it starts when :meth:`run` is (re)entered."""
+        process = SimProcess(self, generator, name)
+        self._active += 1
+        self._schedule(0.0, lambda: self._step(process, None))
+        return process
+
+    def run(self, until: float | None = None) -> float:
+        """Drain the event heap; returns the final virtual time.
+
+        Raises :class:`SimulationError` if processes remain blocked when
+        the heap empties (a deadlock: someone waits on a resource nobody
+        releases).
+        """
+        while self._heap:
+            time, _seq, callback = heapq.heappop(self._heap)
+            if until is not None and time > until:
+                heapq.heappush(self._heap, (time, _seq, callback))
+                self.now = until
+                return self.now
+            if time < self.now - 1e-18:
+                raise SimulationError("event scheduled in the past")
+            self.now = time
+            callback()
+        if self._active:
+            raise SimulationError(
+                f"deadlock: {self._active} process(es) still blocked at "
+                f"t={self.now:.3e}s"
+            )
+        return self.now
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _schedule(self, delay: float, callback: Callable[[], None]) -> None:
+        heapq.heappush(self._heap, (self.now + delay, next(self._seq), callback))
+
+    def _step(self, process: SimProcess, value) -> None:
+        """Advance one process until it blocks or finishes."""
+        try:
+            command = process.generator.send(value)
+        except StopIteration:
+            self._finish(process)
+            return
+        self._dispatch(process, command)
+
+    def _dispatch(self, process: SimProcess, command) -> None:
+        if isinstance(command, Timeout):
+            self._schedule(command.delay, lambda: self._step(process, None))
+        elif isinstance(command, Acquire):
+            resource = command.resource
+            if resource.in_use < resource.capacity:
+                resource.in_use += 1
+                resource._log()
+                self._schedule(0.0, lambda: self._step(process, None))
+            else:
+                resource.waiters.append(process)
+        elif isinstance(command, Release):
+            resource = command.resource
+            if resource.in_use <= 0:
+                raise SimulationError(
+                    f"release of idle resource {resource.name!r}"
+                )
+            if resource.waiters:
+                waiter = resource.waiters.popleft()
+                resource._log()  # occupancy unchanged, but sample the time
+                self._schedule(0.0, lambda: self._step(waiter, None))
+            else:
+                resource.in_use -= 1
+                resource._log()
+            self._schedule(0.0, lambda: self._step(process, None))
+        elif isinstance(command, SimProcess):
+            if command.finished:
+                self._schedule(0.0, lambda: self._step(process, None))
+            else:
+                command.watchers.append(process)
+        else:
+            raise SimulationError(
+                f"process {process.name!r} yielded unsupported command "
+                f"{command!r}"
+            )
+
+    def _finish(self, process: SimProcess) -> None:
+        process.finished = True
+        process.finish_time = self.now
+        self._active -= 1
+        for watcher in process.watchers:
+            self._schedule(0.0, lambda w=watcher: self._step(w, None))
+        process.watchers.clear()

@@ -1,0 +1,118 @@
+"""Interconnect models: the 4x4 stack mesh and the CPU <-> NDP link.
+
+The paper's memory network is a mesh of HBM2 stacks (Table III).  We model
+XY dimension-ordered routing, per-link bandwidth, per-hop latency, and the
+two collective shapes the workload needs:
+
+- uniform **all-to-all** (the Global Comm phase when LR-TDDFT ranks live on
+  NDP units): bisection-limited; half of all traffic crosses the middle of
+  the mesh.
+- **point-to-point** remote reads (the hierarchical pseudopotential scheme
+  of §IV-C): average-hop-count latency plus per-link serialization.
+
+The host link carries offload traffic between the CPU and the memory
+network; its cost is the DT term of the paper's Eq. 1.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from itertools import product
+
+from repro.errors import ConfigError
+
+
+@dataclass(frozen=True)
+class MeshNetwork:
+    """A 2D mesh of memory stacks with XY routing."""
+
+    stacks_x: int
+    stacks_y: int
+    link_bandwidth: float      # bytes/s, per link per direction
+    hop_latency: float         # seconds per hop (router + SerDes)
+
+    def __post_init__(self) -> None:
+        if self.stacks_x < 1 or self.stacks_y < 1:
+            raise ConfigError("mesh dimensions must be >= 1")
+        if self.link_bandwidth <= 0 or self.hop_latency < 0:
+            raise ConfigError("invalid mesh link parameters")
+
+    @property
+    def n_stacks(self) -> int:
+        return self.stacks_x * self.stacks_y
+
+    def coordinates(self, stack_id: int) -> tuple[int, int]:
+        if not 0 <= stack_id < self.n_stacks:
+            raise ConfigError(
+                f"stack id {stack_id} out of range [0, {self.n_stacks})"
+            )
+        return stack_id % self.stacks_x, stack_id // self.stacks_x
+
+    def hops(self, src: int, dst: int) -> int:
+        """XY-routing hop count between two stacks."""
+        sx, sy = self.coordinates(src)
+        dx, dy = self.coordinates(dst)
+        return abs(sx - dx) + abs(sy - dy)
+
+    @property
+    def average_hops(self) -> float:
+        """Mean hop count over distinct (src, dst) pairs."""
+        if self.n_stacks == 1:
+            return 0.0
+        total = 0
+        for src, dst in product(range(self.n_stacks), repeat=2):
+            if src != dst:
+                total += self.hops(src, dst)
+        return total / (self.n_stacks * (self.n_stacks - 1))
+
+    @property
+    def bisection_bandwidth(self) -> float:
+        """One-way bandwidth across the narrower middle cut of the mesh."""
+        cut_links = min(self.stacks_x, self.stacks_y)
+        return cut_links * self.link_bandwidth
+
+    def point_to_point_time(self, nbytes: float, src: int, dst: int) -> float:
+        """Seconds to move ``nbytes`` between two specific stacks."""
+        if nbytes < 0:
+            raise ConfigError("byte count must be non-negative")
+        hop_count = self.hops(src, dst)
+        if hop_count == 0:
+            return 0.0
+        return hop_count * self.hop_latency + nbytes / self.link_bandwidth
+
+    def alltoall_time(self, total_bytes: float) -> float:
+        """Seconds for a uniform all-to-all moving ``total_bytes`` of
+        remote payload across the mesh.
+
+        Under uniform traffic, half the bytes cross the bisection in each
+        direction, so the serialization term is ``(bytes / 2) /
+        bisection``; the latency term uses the average hop count once
+        (messages pipeline behind each other).
+        """
+        if total_bytes < 0:
+            raise ConfigError("byte count must be non-negative")
+        if total_bytes == 0 or self.n_stacks == 1:
+            return 0.0
+        serialization = (total_bytes / 2.0) / self.bisection_bandwidth
+        return self.average_hops * self.hop_latency + serialization
+
+
+@dataclass(frozen=True)
+class HostLink:
+    """The serial link(s) between the host CPU and the memory network."""
+
+    bandwidth: float           # bytes/s aggregate, each direction
+    base_latency: float = 250e-9
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0 or self.base_latency < 0:
+            raise ConfigError("invalid host link parameters")
+
+    def transfer_time(self, nbytes: float) -> float:
+        """Seconds to move ``nbytes`` between host and NDP memory.  This is
+        the DT(i, j) term of the paper's Eq. 1."""
+        if nbytes < 0:
+            raise ConfigError("byte count must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.base_latency + nbytes / self.bandwidth

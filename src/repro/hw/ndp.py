@@ -1,0 +1,156 @@
+"""NDP system model: wimpy cores in the logic layers of an HBM2 stack mesh.
+
+The defining properties (§II-B/II-C of the paper):
+
+- each NDP unit sees its stack's *internal* bandwidth share — an order of
+  magnitude more aggregate bandwidth than any external interface;
+- the cores are simple and in-order, so compute efficiency is modest;
+- work must spread over many units (128 in Table III), so small problems
+  underutilize the system — both because task counts drop below the core
+  count and because short per-unit streams cannot amortize DRAM burst
+  setup.  The ``ramp_bytes`` parameter models the latter and is what bends
+  the Fig. 8 speedup curve at small system sizes;
+- traffic that crosses stacks rides the mesh (:class:`MeshNetwork`), which
+  is what limits the Global Comm phase's speedup.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.hw.config import NdpConfig
+from repro.hw.dram import DramModel, hbm2_stack_internal
+from repro.hw.interconnect import MeshNetwork
+from repro.hw.spm import ScratchpadSpec
+from repro.hw.timing import PhaseTime
+from repro.model import AccessPattern, KernelWorkload
+
+#: In-order issue efficiency per access pattern (no OoO latency hiding).
+#: BLOCKED is poor on purpose: register-blocked GEMM/SYEVD kernels need
+#: the deep register files and OoO scheduling wimpy in-order cores lack,
+#: which is exactly why the paper schedules compute-bound kernels on the
+#: host CPU.
+NDP_COMPUTE_EFFICIENCY = {
+    AccessPattern.SEQUENTIAL: 0.65,
+    AccessPattern.STRIDED: 0.50,
+    AccessPattern.BLOCKED: 0.18,
+    AccessPattern.IRREGULAR: 0.40,
+}
+
+#: Per-unit bytes needed to reach full streaming efficiency; below this the
+#: burst setup and task dispatch dominate (small-system underutilization).
+#: Calibrated so the face-splitting product speeds up ~2x at Si_64 and the
+#: Fig. 8 curve rises from ~1.2x at Si_16 toward saturation at Si_2048.
+NDP_RAMP_BYTES = 1.0e7
+
+#: Offload dispatch cost per kernel invocation on the NDP side: runtime
+#: launch plus a barrier across all 128 NDP units.
+NDP_DISPATCH_OVERHEAD = 5.0e-4
+
+#: Router arbitration + protocol cost per alltoall message; an alltoall
+#: among R ranks exchanges R^2 personalized messages, so this term is what
+#: keeps small-system Global Comm from scaling down with the payload.
+ALLTOALL_MESSAGE_OVERHEAD = 0.25e-6
+
+#: Fraction of an NDP-resident alltoall that is stack-local when ranks are
+#: spread uniformly over S stacks: 1/S stays inside the stack.
+def _local_fraction(n_stacks: int) -> float:
+    return 1.0 / n_stacks
+
+
+@dataclass
+class NdpSystemModel:
+    """Analytic timing model for the whole NDP side (all stacks)."""
+
+    config: NdpConfig
+    memory: DramModel = field(default=None)  # type: ignore[assignment]
+
+    def __post_init__(self) -> None:
+        if self.memory is None:
+            self.memory = hbm2_stack_internal(
+                peak_bandwidth=self.config.stack_internal_bandwidth
+            )
+        self.mesh = MeshNetwork(
+            stacks_x=self.config.stacks_x,
+            stacks_y=self.config.stacks_y,
+            link_bandwidth=self.config.mesh_link_bandwidth,
+            hop_latency=self.config.mesh_hop_latency,
+        )
+        self.stack_spm = ScratchpadSpec(capacity=self.config.spm_per_stack)
+        self.core_spm = ScratchpadSpec(capacity=self.config.spm_per_core)
+
+    # ------------------------------------------------------------------
+    # Utilization model
+    # ------------------------------------------------------------------
+    def unit_utilization(self, workload: KernelWorkload) -> float:
+        """Fraction of NDP units doing useful work.
+
+        Combines wave quantization (tasks round up to unit-count waves)
+        with the short-stream bandwidth ramp.
+        """
+        units = self.config.n_units
+        tasks = workload.parallel_tasks
+        waves = -(-tasks // units)  # ceil
+        wave_utilization = tasks / (waves * units)
+        bytes_per_unit = workload.bytes_total / units if units else 0.0
+        ramp = (
+            bytes_per_unit / (bytes_per_unit + NDP_RAMP_BYTES)
+            if workload.bytes_total
+            else 1.0
+        )
+        return wave_utilization * ramp
+
+    # ------------------------------------------------------------------
+    # Kernel execution
+    # ------------------------------------------------------------------
+    def execute(self, workload: KernelWorkload) -> PhaseTime:
+        """Time one kernel spread across every NDP unit."""
+        utilization = self.unit_utilization(workload)
+        effective_flops = (
+            self.config.peak_flops
+            * NDP_COMPUTE_EFFICIENCY[workload.access_pattern]
+            * utilization
+        )
+        compute_time = workload.flops / effective_flops if workload.flops else 0.0
+
+        # NDP cores have no deep cache hierarchy: traffic is nominal, but
+        # it is served by the aggregate internal bandwidth of all stacks.
+        aggregate_bw = (
+            self.config.aggregate_internal_bandwidth
+            * self.memory.pattern_efficiency[workload.access_pattern]
+            * utilization
+        )
+        memory_time = workload.bytes_total / aggregate_bw if workload.bytes_total else 0.0
+
+        transfer_time = 0.0
+        if workload.comm_bytes:
+            remote = workload.comm_bytes * (
+                1.0 - _local_fraction(self.config.n_stacks)
+            )
+            ranks = self.config.n_units
+            message_overhead = ALLTOALL_MESSAGE_OVERHEAD * ranks * ranks
+            transfer_time = self.mesh.alltoall_time(remote) + message_overhead
+
+        return PhaseTime(
+            name=str(workload.name),
+            compute_time=compute_time,
+            memory_time=memory_time,
+            transfer_time=transfer_time,
+            overhead_time=NDP_DISPATCH_OVERHEAD,
+        )
+
+    def ridge_point(self) -> float:
+        """Aggregate arithmetic intensity where the NDP side turns
+        compute-bound."""
+        return self.config.peak_flops / (
+            self.config.aggregate_internal_bandwidth
+            * self.memory.pattern_efficiency[AccessPattern.SEQUENTIAL]
+        )
+
+    def validate(self) -> None:
+        if self.config.peak_flops <= 0:
+            raise ConfigError("NDP peak FLOP/s must be positive")
+        if self.config.spm_per_core * self.config.cores_per_unit * self.config.units_per_stack < self.config.spm_per_stack:
+            # Table III: 16 KB/core x 2 x 8 = 256 KB/stack; keep them tied.
+            raise ConfigError("per-core SPM does not add up to per-stack SPM")

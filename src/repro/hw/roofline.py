@@ -1,0 +1,88 @@
+"""Roofline analysis (the paper's Fig. 4 machinery).
+
+A roofline chart plots attained FLOP rate against arithmetic intensity
+under two ceilings: the machine's peak FLOP rate and the bandwidth slope
+``AI * peak_bandwidth``.  Kernels left of the ridge point are memory-bound,
+right of it compute-bound.  The paper derives its scheduling policy from
+exactly this classification, so the roofline model is also what our SCA
+substitute consults.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.model import KernelWorkload
+
+
+@dataclass(frozen=True)
+class RooflinePoint:
+    """One kernel's position on a roofline chart."""
+
+    name: str
+    arithmetic_intensity: float
+    attained_flops: float
+    attainable_flops: float
+    bound: str  # "memory" or "compute"
+
+    @property
+    def efficiency(self) -> float:
+        """Attained fraction of the attainable ceiling."""
+        if self.attainable_flops == 0:
+            return 0.0
+        return self.attained_flops / self.attainable_flops
+
+
+@dataclass(frozen=True)
+class RooflineModel:
+    """The two-ceiling roofline of one machine."""
+
+    name: str
+    peak_flops: float
+    peak_bandwidth: float
+
+    def __post_init__(self) -> None:
+        if self.peak_flops <= 0 or self.peak_bandwidth <= 0:
+            raise ConfigError("roofline ceilings must be positive")
+
+    @property
+    def ridge_point(self) -> float:
+        """Arithmetic intensity where bandwidth and compute ceilings meet."""
+        return self.peak_flops / self.peak_bandwidth
+
+    def attainable(self, arithmetic_intensity: float) -> float:
+        """The roofline ceiling at a given arithmetic intensity."""
+        if arithmetic_intensity < 0:
+            raise ConfigError("arithmetic intensity must be non-negative")
+        return min(self.peak_flops, arithmetic_intensity * self.peak_bandwidth)
+
+    def classify(self, arithmetic_intensity: float) -> str:
+        return (
+            "memory" if arithmetic_intensity < self.ridge_point else "compute"
+        )
+
+    def analyze(
+        self, workload: KernelWorkload, measured_time: float | None = None
+    ) -> RooflinePoint:
+        """Place one workload on this roofline.
+
+        With ``measured_time`` the attained rate is flops/time; without it
+        the kernel is assumed to run exactly at the ceiling (useful for
+        drawing the chart before any machine model has run).
+        """
+        ai = workload.arithmetic_intensity
+        ceiling = self.attainable(ai if ai != float("inf") else self.ridge_point)
+        if measured_time is not None:
+            if measured_time <= 0:
+                raise ConfigError("measured_time must be positive")
+            attained = workload.flops / measured_time
+        else:
+            attained = ceiling
+        return RooflinePoint(
+            name=str(workload.name),
+            arithmetic_intensity=ai,
+            attained_flops=attained,
+            attainable_flops=ceiling,
+            bound=self.classify(ai),
+        )

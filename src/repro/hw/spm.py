@@ -1,0 +1,43 @@
+"""Scratchpad-memory (SPM) device model.
+
+The paper's co-design places an SPM in each stack's logic layer and builds
+the pseudopotential shared memory on it (§IV-C).  This module models the
+device: capacity, access latency and bandwidth.  Allocation policy lives in
+:mod:`repro.shmem.allocator`; processes go through the ``NDFT_*`` APIs in
+:mod:`repro.shmem.api`.
+
+SPM access is modeled as SRAM: fixed low latency, high bandwidth, no
+pattern sensitivity (scratchpads have no tags or prefetchers to defeat).
+The numbers follow the Banakar et al. scratchpad literature the paper
+cites: ~1-2 ns access, several hundred GB/s per stack-level SPM.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import ConfigError
+from repro.units import GB
+
+
+@dataclass(frozen=True)
+class ScratchpadSpec:
+    """One scratchpad instance (per NDP core or per stack)."""
+
+    capacity: int
+    latency: float = 1.5e-9
+    bandwidth: float = 400 * GB
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise ConfigError("SPM capacity must be positive")
+        if self.latency < 0 or self.bandwidth <= 0:
+            raise ConfigError("SPM latency/bandwidth invalid")
+
+    def access_time(self, nbytes: float) -> float:
+        """Seconds to read or write ``nbytes`` from this SPM."""
+        if nbytes < 0:
+            raise ConfigError("byte count must be non-negative")
+        if nbytes == 0:
+            return 0.0
+        return self.latency + nbytes / self.bandwidth

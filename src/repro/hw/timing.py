@@ -1,0 +1,67 @@
+"""Phase-timing record shared by every machine model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.errors import SimulationError
+
+
+@dataclass(frozen=True)
+class PhaseTime:
+    """Where the time of one kernel/phase execution went.
+
+    ``total`` is not necessarily the sum of the parts: compute and memory
+    streams overlap (the roofline max), and transfer may partially overlap
+    both.  The machine model that produced the record decides; this type
+    just carries the result.
+    """
+
+    name: str
+    compute_time: float
+    memory_time: float
+    transfer_time: float = 0.0
+    overhead_time: float = 0.0
+    total: float = 0.0
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "compute_time",
+            "memory_time",
+            "transfer_time",
+            "overhead_time",
+            "total",
+        ):
+            if getattr(self, attr) < 0:
+                raise SimulationError(f"negative {attr} in phase {self.name}")
+        if self.total == 0.0:
+            object.__setattr__(
+                self,
+                "total",
+                max(self.compute_time, self.memory_time, self.transfer_time)
+                + self.overhead_time,
+            )
+
+    @property
+    def bound(self) -> str:
+        """Which stream dominated: 'compute', 'memory' or 'transfer'."""
+        dominant = max(
+            ("compute", self.compute_time),
+            ("memory", self.memory_time),
+            ("transfer", self.transfer_time),
+            key=lambda item: item[1],
+        )
+        return dominant[0]
+
+    def plus_overhead(self, extra: float) -> "PhaseTime":
+        """A copy with ``extra`` seconds of overhead added to the total."""
+        if extra < 0:
+            raise SimulationError("overhead must be non-negative")
+        return PhaseTime(
+            name=self.name,
+            compute_time=self.compute_time,
+            memory_time=self.memory_time,
+            transfer_time=self.transfer_time,
+            overhead_time=self.overhead_time + extra,
+            total=self.total + extra,
+        )

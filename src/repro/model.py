@@ -1,0 +1,139 @@
+"""Shared performance-model vocabulary.
+
+This module is deliberately leaf-level (imports nothing from the rest of
+the package) because both the physics side (:mod:`repro.dft.workload`) and
+the systems side (:mod:`repro.hw`, :mod:`repro.core`) speak in terms of the
+types defined here.
+
+A :class:`KernelWorkload` is the analytic double of an executable kernel:
+how many FLOPs it performs, how many DRAM bytes it streams, how large its
+per-task working set is, how its accesses look to a prefetcher, and how
+many independent tasks it decomposes into.  The static code analyzer
+(§IV-A of the paper) is modeled as producing exactly this record for each
+function.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, replace
+
+
+class AccessPattern(enum.Enum):
+    """Memory-access shape of a kernel, as a prefetcher would see it."""
+
+    SEQUENTIAL = "sequential"
+    STRIDED = "strided"
+    BLOCKED = "blocked"
+    IRREGULAR = "irregular"
+
+
+class PhaseName(str, enum.Enum):
+    """The LR-TDDFT execution phases the paper's Fig. 7 breaks time into."""
+
+    FACE_SPLIT = "face_split"
+    FFT = "fft"
+    GLOBAL_COMM = "global_comm"
+    GEMM = "gemm"
+    SYEVD = "syevd"
+    PSEUDOPOTENTIAL = "pseudopotential"
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.value
+
+
+#: Phases whose time is dominated by data movement on conventional CPUs.
+MEMORY_BOUND_PHASES = (
+    PhaseName.FACE_SPLIT,
+    PhaseName.FFT,
+    PhaseName.GLOBAL_COMM,
+    PhaseName.PSEUDOPOTENTIAL,
+)
+
+#: Phases dominated by arithmetic on conventional CPUs (at large sizes).
+COMPUTE_BOUND_PHASES = (PhaseName.GEMM, PhaseName.SYEVD)
+
+
+@dataclass(frozen=True)
+class KernelWorkload:
+    """Analytic description of one kernel invocation (whole-machine totals).
+
+    Attributes
+    ----------
+    name:
+        Phase name (a :class:`PhaseName` value).
+    flops:
+        Total floating-point operations.
+    bytes_read / bytes_written:
+        DRAM traffic if the kernel streams from main memory (caches are
+        applied by the machine models, which may discount this).
+    comm_bytes:
+        Payload bytes that must cross between processes/units (nonzero only
+        for communication phases).
+    working_set:
+        Bytes one task touches repeatedly; decides cache/SPM residency.
+    footprint:
+        Distinct bytes the whole phase touches (its dataset size).  Decides
+        device-memory residency for offload targets; defaults to
+        ``bytes_total`` when left at 0.
+    access_pattern:
+        Qualitative access shape; machine models map it to bandwidth
+        efficiency.
+    parallel_tasks:
+        Number of independent tasks the kernel decomposes into (its maximum
+        useful degree of parallelism).
+    """
+
+    name: str
+    flops: float
+    bytes_read: float
+    bytes_written: float
+    comm_bytes: float = 0.0
+    working_set: float = 0.0
+    footprint: float = 0.0
+    access_pattern: AccessPattern = AccessPattern.SEQUENTIAL
+    parallel_tasks: int = 1
+
+    def __post_init__(self) -> None:
+        for attr in (
+            "flops",
+            "bytes_read",
+            "bytes_written",
+            "comm_bytes",
+            "working_set",
+            "footprint",
+        ):
+            if getattr(self, attr) < 0:
+                raise ValueError(f"{attr} must be non-negative")
+        if self.parallel_tasks < 1:
+            raise ValueError("parallel_tasks must be >= 1")
+
+    @property
+    def bytes_total(self) -> float:
+        return self.bytes_read + self.bytes_written
+
+    @property
+    def dataset_bytes(self) -> float:
+        """Distinct data touched; falls back to total traffic when the
+        workload did not declare a footprint."""
+        return self.footprint if self.footprint > 0 else self.bytes_total
+
+    @property
+    def arithmetic_intensity(self) -> float:
+        """FLOPs per DRAM byte — the roofline abscissa."""
+        if self.bytes_total == 0:
+            return float("inf")
+        return self.flops / self.bytes_total
+
+    def scaled(self, factor: float) -> "KernelWorkload":
+        """A proportionally scaled copy (used to split work across units)."""
+        if factor < 0:
+            raise ValueError("scale factor must be non-negative")
+        return replace(
+            self,
+            flops=self.flops * factor,
+            bytes_read=self.bytes_read * factor,
+            bytes_written=self.bytes_written * factor,
+            comm_bytes=self.comm_bytes * factor,
+            parallel_tasks=max(1, round(self.parallel_tasks * factor)),
+        )

@@ -1,0 +1,26 @@
+"""Simulated message-passing substrate.
+
+The paper's LR-TDDFT implementation is an MPI code whose transposes
+(``MPI_Alltoall``) are a first-class kernel in the Fig. 1 flowchart.  This
+package provides a single-process functional simulation of that layer:
+rank-local numpy arrays, collective operations that really move the data,
+and byte accounting that feeds the communication models in
+:mod:`repro.hw` and :mod:`repro.core`.
+"""
+
+from repro.parallel.mpi import CommEvent, SimCommunicator
+from repro.parallel.layouts import (
+    block_partition,
+    partition_sizes,
+    pairs_to_grid_layout,
+    grid_to_pairs_layout,
+)
+
+__all__ = [
+    "CommEvent",
+    "SimCommunicator",
+    "block_partition",
+    "partition_sizes",
+    "pairs_to_grid_layout",
+    "grid_to_pairs_layout",
+]

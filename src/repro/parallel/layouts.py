@@ -1,0 +1,112 @@
+"""Data layouts and the alltoall transposes between them.
+
+LR-TDDFT alternates between two distributions of the pair-density matrix
+``P`` (shape n_pairs x n_grid):
+
+- **pair-parallel**: each rank owns a contiguous block of pairs and the full
+  grid for those pairs.  FFTs are rank-local in this layout.
+- **grid-parallel**: each rank owns every pair but only a slice of grid
+  points (or G vectors).  Kernel application and the GEMM contraction over
+  G are rank-local in this layout.
+
+Switching between them is exactly the ``MPI_Alltoall`` transposition of the
+paper's Fig. 1, and is implemented here on top of
+:class:`repro.parallel.mpi.SimCommunicator`.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import CommunicationError
+from repro.parallel.mpi import SimCommunicator
+
+
+def partition_sizes(n: int, parts: int) -> list[int]:
+    """Sizes of a balanced block partition of ``n`` items into ``parts``
+    (first ``n % parts`` blocks get one extra item)."""
+    if parts < 1:
+        raise CommunicationError(f"parts must be >= 1, got {parts}")
+    if n < 0:
+        raise CommunicationError(f"n must be >= 0, got {n}")
+    base, extra = divmod(n, parts)
+    return [base + (1 if i < extra else 0) for i in range(parts)]
+
+
+def block_partition(n: int, parts: int) -> list[slice]:
+    """Balanced contiguous slices covering ``range(n)``."""
+    sizes = partition_sizes(n, parts)
+    slices = []
+    start = 0
+    for size in sizes:
+        slices.append(slice(start, start + size))
+        start += size
+    return slices
+
+
+def pairs_to_grid_layout(
+    comm: SimCommunicator, local_pairs: list[np.ndarray]
+) -> list[np.ndarray]:
+    """Transpose pair-parallel blocks into grid-parallel blocks.
+
+    ``local_pairs[r]`` is rank r's (n_pairs_r, n_grid) block.  Returns
+    ``local_grid`` where ``local_grid[r]`` is (n_pairs_total, n_grid_r),
+    with grid columns block-partitioned across ranks.
+    """
+    if len(local_pairs) != comm.size:
+        raise CommunicationError(
+            f"expected {comm.size} pair blocks, got {len(local_pairs)}"
+        )
+    blocks = [np.atleast_2d(np.asarray(b)) for b in local_pairs]
+    widths = {b.shape[1] for b in blocks}
+    if len(widths) != 1:
+        raise CommunicationError(f"inconsistent grid widths: {widths}")
+    n_grid = widths.pop()
+    grid_slices = block_partition(n_grid, comm.size)
+
+    send = [[block[:, s] for s in grid_slices] for block in blocks]
+    recv = comm.alltoall(send)
+    return [
+        np.concatenate([recv[rank][src] for src in range(comm.size)], axis=0)
+        for rank in range(comm.size)
+    ]
+
+
+def grid_to_pairs_layout(
+    comm: SimCommunicator,
+    local_grid: list[np.ndarray],
+    pair_counts: list[int],
+) -> list[np.ndarray]:
+    """Inverse of :func:`pairs_to_grid_layout`.
+
+    ``local_grid[r]`` is (n_pairs_total, n_grid_r); ``pair_counts`` gives
+    each rank's pair-block height in the pair-parallel layout.  Returns the
+    rank-local (n_pairs_r, n_grid) blocks.
+    """
+    if len(local_grid) != comm.size:
+        raise CommunicationError(
+            f"expected {comm.size} grid blocks, got {len(local_grid)}"
+        )
+    if len(pair_counts) != comm.size:
+        raise CommunicationError(
+            f"expected {comm.size} pair counts, got {len(pair_counts)}"
+        )
+    blocks = [np.atleast_2d(np.asarray(b)) for b in local_grid]
+    total_pairs = sum(pair_counts)
+    heights = {b.shape[0] for b in blocks}
+    if heights != {total_pairs}:
+        raise CommunicationError(
+            f"grid blocks have heights {heights}, expected {total_pairs}"
+        )
+    pair_slices = []
+    start = 0
+    for count in pair_counts:
+        pair_slices.append(slice(start, start + count))
+        start += count
+
+    send = [[block[s, :] for s in pair_slices] for block in blocks]
+    recv = comm.alltoall(send)
+    return [
+        np.concatenate([recv[rank][src] for src in range(comm.size)], axis=1)
+        for rank in range(comm.size)
+    ]

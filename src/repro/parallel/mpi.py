@@ -1,0 +1,142 @@
+"""Functional single-process simulation of the MPI collectives LR-TDDFT uses.
+
+A :class:`SimCommunicator` owns ``size`` simulated ranks.  Collectives take
+per-rank inputs (lists indexed by rank), return per-rank outputs, and append
+a :class:`CommEvent` with exact byte counts to :attr:`SimCommunicator.log`.
+The byte counts are what the hardware models later turn into time; the data
+movement itself is real (numpy copies), so functional results are exact.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.errors import CommunicationError
+
+
+@dataclass(frozen=True)
+class CommEvent:
+    """One collective operation's traffic record.
+
+    ``bytes_moved`` counts payload bytes that crossed between two distinct
+    ranks (self-sends are excluded: they stay in local memory on a real
+    machine and the paper's communication phases do not pay for them).
+    """
+
+    op: str
+    bytes_moved: int
+    max_rank_bytes: int
+
+
+class SimCommunicator:
+    """A simulated MPI communicator with ``size`` ranks."""
+
+    def __init__(self, size: int):
+        if size < 1:
+            raise CommunicationError(f"communicator size must be >= 1, got {size}")
+        self.size = size
+        self.log: list[CommEvent] = []
+
+    # ------------------------------------------------------------------
+    # Accounting helpers
+    # ------------------------------------------------------------------
+    @property
+    def total_bytes(self) -> int:
+        return sum(event.bytes_moved for event in self.log)
+
+    def bytes_by_op(self) -> dict[str, int]:
+        totals: dict[str, int] = {}
+        for event in self.log:
+            totals[event.op] = totals.get(event.op, 0) + event.bytes_moved
+        return totals
+
+    def _check_per_rank(self, values: list, what: str) -> None:
+        if len(values) != self.size:
+            raise CommunicationError(
+                f"{what} must supply one entry per rank "
+                f"({self.size}), got {len(values)}"
+            )
+
+    # ------------------------------------------------------------------
+    # Collectives
+    # ------------------------------------------------------------------
+    def alltoall(self, send: list[list[np.ndarray]]) -> list[list[np.ndarray]]:
+        """Personalized all-to-all: ``send[i][j]`` goes from rank i to rank j.
+
+        Returns ``recv`` with ``recv[j][i] = send[i][j]``.  This is the
+        ``MPI_Alltoall(v)`` of the paper's Global Comm phase.
+        """
+        self._check_per_rank(send, "alltoall send")
+        for rank, row in enumerate(send):
+            if len(row) != self.size:
+                raise CommunicationError(
+                    f"rank {rank} supplies {len(row)} buffers, need {self.size}"
+                )
+        moved = 0
+        per_rank = [0] * self.size
+        recv: list[list[np.ndarray]] = [[None] * self.size for _ in range(self.size)]  # type: ignore[list-item]
+        for src in range(self.size):
+            for dst in range(self.size):
+                payload = np.asarray(send[src][dst])
+                recv[dst][src] = payload.copy()
+                if src != dst:
+                    moved += payload.nbytes
+                    per_rank[src] += payload.nbytes
+        self.log.append(
+            CommEvent("alltoall", moved, max(per_rank) if per_rank else 0)
+        )
+        return recv
+
+    def allreduce(self, values: list[np.ndarray]) -> list[np.ndarray]:
+        """Sum-reduction to all ranks (ring-allreduce byte accounting:
+        each rank sends ~2 * payload * (size-1)/size bytes)."""
+        self._check_per_rank(values, "allreduce")
+        arrays = [np.asarray(v) for v in values]
+        shapes = {a.shape for a in arrays}
+        if len(shapes) != 1:
+            raise CommunicationError(f"allreduce shape mismatch: {shapes}")
+        total = np.zeros_like(arrays[0])
+        for a in arrays:
+            total = total + a
+        payload = arrays[0].nbytes
+        per_rank = 2 * payload * (self.size - 1) // max(self.size, 1)
+        self.log.append(
+            CommEvent("allreduce", per_rank * self.size, per_rank)
+        )
+        return [total.copy() for _ in range(self.size)]
+
+    def allgather(self, values: list[np.ndarray]) -> list[list[np.ndarray]]:
+        """Every rank receives every rank's array."""
+        self._check_per_rank(values, "allgather")
+        arrays = [np.asarray(v) for v in values]
+        moved = sum(a.nbytes for a in arrays) * (self.size - 1)
+        self.log.append(
+            CommEvent(
+                "allgather",
+                moved,
+                max((a.nbytes for a in arrays), default=0) * (self.size - 1),
+            )
+        )
+        return [[a.copy() for a in arrays] for _ in range(self.size)]
+
+    def bcast(self, value: np.ndarray, root: int = 0) -> list[np.ndarray]:
+        """Broadcast ``value`` from ``root`` to every rank."""
+        if not 0 <= root < self.size:
+            raise CommunicationError(f"root {root} out of range for size {self.size}")
+        payload = np.asarray(value)
+        self.log.append(
+            CommEvent("bcast", payload.nbytes * (self.size - 1), payload.nbytes)
+        )
+        return [payload.copy() for _ in range(self.size)]
+
+    def scatter(self, chunks: list[np.ndarray], root: int = 0) -> list[np.ndarray]:
+        """Rank ``root`` distributes ``chunks[i]`` to rank i."""
+        if not 0 <= root < self.size:
+            raise CommunicationError(f"root {root} out of range for size {self.size}")
+        self._check_per_rank(chunks, "scatter")
+        arrays = [np.asarray(c) for c in chunks]
+        moved = sum(a.nbytes for i, a in enumerate(arrays) if i != root)
+        self.log.append(CommEvent("scatter", moved, moved))
+        return [a.copy() for a in arrays]

@@ -1,0 +1,46 @@
+"""Shared-memory runtime for pseudopotential data (the paper's §IV-B/IV-C).
+
+This package implements the NDFT hardware/software co-design:
+
+- :mod:`repro.shmem.shared_block` — the ``sharedBL`` descriptor of
+  Algorithm 1 (one atom's pseudopotential payload reorganized into a
+  contiguous shared-memory block).
+- :mod:`repro.shmem.allocator` — a first-fit allocator over a stack's SPM.
+- :mod:`repro.shmem.api` — the ``NDFT_*`` programming interfaces of
+  Table II (Alloc_Shared, Read, Write, Read_Remote, Write_Remote,
+  Broadcast) with exact traffic accounting.
+- :mod:`repro.shmem.arbiter` — the per-stack communication arbiter and the
+  hierarchical (intra-stack first) communication scheme of Fig. 6.
+- :mod:`repro.shmem.pseudo_layout` — replicated vs shared-block functional
+  layouts of the Kleinman-Bylander payload; both produce bit-identical
+  physics.
+- :mod:`repro.shmem.footprint` — the Table I memory-footprint model and
+  the OOM check for replicated layouts on many-core NDP systems.
+"""
+
+from repro.shmem.shared_block import SharedBlock, SharedBlockTable
+from repro.shmem.allocator import SpmAllocator
+from repro.shmem.api import NdftSharedMemory
+from repro.shmem.arbiter import CommArbiter, HierarchicalComm
+from repro.shmem.pseudo_layout import ReplicatedLayout, SharedBlockLayout
+from repro.shmem.footprint import (
+    FootprintReport,
+    footprint_ndft,
+    footprint_replicated,
+    table1_rows,
+)
+
+__all__ = [
+    "SharedBlock",
+    "SharedBlockTable",
+    "SpmAllocator",
+    "NdftSharedMemory",
+    "CommArbiter",
+    "HierarchicalComm",
+    "ReplicatedLayout",
+    "SharedBlockLayout",
+    "FootprintReport",
+    "footprint_ndft",
+    "footprint_replicated",
+    "table1_rows",
+]

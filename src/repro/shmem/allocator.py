@@ -1,0 +1,137 @@
+"""First-fit free-list allocator over a scratchpad's address space.
+
+``NDFT_Alloc_Shared`` needs contiguous regions inside a stack's SPM-backed
+shared memory (Algorithm 1 line 8: "allocate a continuous space in shared
+memory").  This allocator provides that with explicit invariants the
+property-based tests exercise:
+
+- allocated regions never overlap;
+- free + allocated bytes always equal capacity;
+- adjacent free regions coalesce on free (no permanent fragmentation from
+  alloc/free cycles of equal sizes).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.errors import AllocationError, OutOfMemoryError
+
+
+@dataclass(frozen=True)
+class Region:
+    offset: int
+    length: int
+
+    @property
+    def end(self) -> int:
+        return self.offset + self.length
+
+
+@dataclass
+class SpmAllocator:
+    """First-fit allocator over ``capacity`` bytes with ``alignment``."""
+
+    capacity: int
+    alignment: int = 8
+    _free: list[Region] = field(default_factory=list)
+    _allocated: dict[int, Region] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.capacity <= 0:
+            raise AllocationError("allocator capacity must be positive")
+        if self.alignment <= 0 or self.alignment & (self.alignment - 1):
+            raise AllocationError("alignment must be a positive power of two")
+        if not self._free:
+            self._free = [Region(0, self.capacity)]
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def free_bytes(self) -> int:
+        return sum(r.length for r in self._free)
+
+    @property
+    def allocated_bytes(self) -> int:
+        return sum(r.length for r in self._allocated.values())
+
+    @property
+    def largest_free_region(self) -> int:
+        return max((r.length for r in self._free), default=0)
+
+    def fragmentation(self) -> float:
+        """1 - largest_free/total_free; 0 when free space is contiguous."""
+        free = self.free_bytes
+        if free == 0:
+            return 0.0
+        return 1.0 - self.largest_free_region / free
+
+    # ------------------------------------------------------------------
+    # Allocation
+    # ------------------------------------------------------------------
+    def _round_up(self, size: int) -> int:
+        return (size + self.alignment - 1) & ~(self.alignment - 1)
+
+    def allocate(self, size: int) -> int:
+        """Reserve ``size`` bytes; returns the region offset.
+
+        Raises :class:`OutOfMemoryError` when no free region fits — the
+        failure mode the paper's replicated pseudopotential layout hits on
+        large systems (§III-B).
+        """
+        if size <= 0:
+            raise AllocationError(f"allocation size must be positive, got {size}")
+        needed = self._round_up(size)
+        for index, region in enumerate(self._free):
+            if region.length >= needed:
+                allocated = Region(region.offset, needed)
+                remainder = Region(region.offset + needed, region.length - needed)
+                if remainder.length:
+                    self._free[index] = remainder
+                else:
+                    del self._free[index]
+                self._allocated[allocated.offset] = allocated
+                return allocated.offset
+        raise OutOfMemoryError(
+            f"cannot allocate {needed} bytes "
+            f"(free={self.free_bytes}, largest region={self.largest_free_region})",
+            requested=needed,
+            available=self.largest_free_region,
+        )
+
+    def free(self, offset: int) -> None:
+        """Release the region starting at ``offset``; coalesces neighbors."""
+        region = self._allocated.pop(offset, None)
+        if region is None:
+            raise AllocationError(f"no allocation at offset {offset}")
+        merged = region
+        keep: list[Region] = []
+        for free_region in self._free:
+            if free_region.end == merged.offset:
+                merged = Region(free_region.offset, free_region.length + merged.length)
+            elif merged.end == free_region.offset:
+                merged = Region(merged.offset, merged.length + free_region.length)
+            else:
+                keep.append(free_region)
+        keep.append(merged)
+        keep.sort(key=lambda r: r.offset)
+        self._free = keep
+
+    def check_invariants(self) -> None:
+        """Raise :class:`AllocationError` on any broken invariant."""
+        regions = sorted(
+            list(self._allocated.values()) + self._free, key=lambda r: r.offset
+        )
+        cursor = 0
+        for region in regions:
+            if region.offset != cursor:
+                raise AllocationError(
+                    f"gap or overlap at offset {cursor} (next region at "
+                    f"{region.offset})"
+                )
+            cursor = region.end
+        if cursor != self.capacity:
+            raise AllocationError(
+                f"regions cover {cursor} bytes of {self.capacity}"
+            )

@@ -1,0 +1,231 @@
+"""The ``NDFT_*`` programming interfaces (paper Table II).
+
+:class:`NdftSharedMemory` is the runtime a simulated NDP process calls:
+
+===============================  =========================================
+Paper API                        Method here
+===============================  =========================================
+``NDFT_Alloc_Shared(info, id)``  :meth:`NdftSharedMemory.alloc_shared`
+``NDFT_Read(bl, addr, len)``     :meth:`NdftSharedMemory.read`
+``NDFT_Write(bl, addr, len)``    :meth:`NdftSharedMemory.write`
+``NDFT_Read_Remote(...)``        :meth:`NdftSharedMemory.read_remote`
+``NDFT_Write_Remote(...)``       :meth:`NdftSharedMemory.write_remote`
+``NDFT_Broadcast(bl)``           :meth:`NdftSharedMemory.broadcast`
+===============================  =========================================
+
+The runtime is functional (payloads are real numpy buffers; reads return
+exactly what was written) and accounted (every call charges SPM/mesh time
+and traffic, which the ablation benchmarks aggregate).
+"""
+
+from __future__ import annotations
+
+import itertools
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dft.pseudopotential import AtomPseudoBlock
+from repro.errors import AllocationError, CommunicationError
+from repro.hw.interconnect import MeshNetwork
+from repro.hw.spm import ScratchpadSpec
+from repro.shmem.allocator import SpmAllocator
+from repro.shmem.arbiter import HierarchicalComm
+from repro.shmem.shared_block import (
+    SharedBlock,
+    SharedBlockTable,
+    pack_atom_block,
+    unpack_atom_block,
+)
+
+
+@dataclass
+class _StackStore:
+    """Backing store of one stack's shared memory region."""
+
+    allocator: SpmAllocator
+    buffers: dict[int, np.ndarray] = field(default_factory=dict)
+
+
+class NdftSharedMemory:
+    """Shared-memory runtime spanning every stack of the NDP system.
+
+    Parameters
+    ----------
+    n_stacks, units_per_stack:
+        System shape (Table III: 16 stacks x 8 units).
+    capacity_per_stack:
+        Bytes of shared region per stack.  The SPM caches the hot blocks;
+        capacity beyond the SPM spills into the stack's DRAM, which only
+        changes access latency, not semantics.
+    spm, mesh:
+        Device models used for time accounting; defaults follow Table III.
+    """
+
+    def __init__(
+        self,
+        n_stacks: int,
+        units_per_stack: int,
+        capacity_per_stack: int,
+        spm: ScratchpadSpec | None = None,
+        mesh: MeshNetwork | None = None,
+    ):
+        if n_stacks < 1 or units_per_stack < 1:
+            raise CommunicationError("system shape must be positive")
+        self.n_stacks = n_stacks
+        self.units_per_stack = units_per_stack
+        self.spm = spm or ScratchpadSpec(capacity=capacity_per_stack)
+        side = max(1, int(round(n_stacks**0.5)))
+        if mesh is None and side * side != n_stacks:
+            raise CommunicationError(
+                f"cannot infer a square mesh for {n_stacks} stacks; pass one"
+            )
+        self.mesh = mesh or MeshNetwork(
+            stacks_x=side, stacks_y=side, link_bandwidth=48e9, hop_latency=40e-9
+        )
+        self.comm = HierarchicalComm(mesh=self.mesh)
+        self._stores = [
+            _StackStore(allocator=SpmAllocator(capacity=capacity_per_stack))
+            for _ in range(n_stacks)
+        ]
+        self._tables = [
+            SharedBlockTable() for _ in range(n_stacks * units_per_stack)
+        ]
+        self._block_ids = itertools.count()
+        self._blocks: dict[int, SharedBlock] = {}
+        self.local_bytes = 0
+        self.elapsed_time = 0.0
+
+    # ------------------------------------------------------------------
+    # Topology helpers
+    # ------------------------------------------------------------------
+    @property
+    def n_units(self) -> int:
+        return self.n_stacks * self.units_per_stack
+
+    def stack_of(self, unit_id: int) -> int:
+        if not 0 <= unit_id < self.n_units:
+            raise CommunicationError(
+                f"unit id {unit_id} out of range [0, {self.n_units})"
+            )
+        return unit_id // self.units_per_stack
+
+    def table_of(self, unit_id: int) -> SharedBlockTable:
+        self.stack_of(unit_id)  # range check
+        return self._tables[unit_id]
+
+    # ------------------------------------------------------------------
+    # Table II APIs
+    # ------------------------------------------------------------------
+    def alloc_shared(
+        self, pseu_info: AtomPseudoBlock, unit_id: int
+    ) -> SharedBlock:
+        """``NDFT_Alloc_Shared``: pack one atom's payload into the calling
+        unit's stack and return the descriptor."""
+        stack_id = self.stack_of(unit_id)
+        payload = pack_atom_block(pseu_info)
+        nbytes = payload.nbytes
+        store = self._stores[stack_id]
+        offset = store.allocator.allocate(nbytes)
+        store.buffers[offset] = payload
+        block = SharedBlock(
+            block_id=next(self._block_ids),
+            atom_index=pseu_info.atom_index,
+            stack_id=stack_id,
+            offset=offset,
+            length=nbytes,
+        )
+        self._blocks[block.block_id] = block
+        self._tables[unit_id].register(block)
+        self.elapsed_time += self.spm.access_time(nbytes)
+        self.local_bytes += nbytes
+        return block
+
+    def _payload(self, block: SharedBlock) -> np.ndarray:
+        store = self._stores[block.stack_id]
+        if block.offset not in store.buffers:
+            raise AllocationError(
+                f"shared block {block.block_id} has no backing buffer"
+            )
+        return store.buffers[block.offset]
+
+    def read(self, block: SharedBlock, unit_id: int) -> AtomPseudoBlock:
+        """``NDFT_Read``: intra-stack read of a shared block."""
+        if self.stack_of(unit_id) != block.stack_id:
+            raise CommunicationError(
+                f"unit {unit_id} is not in stack {block.stack_id}; "
+                "use read_remote"
+            )
+        self.elapsed_time += self.spm.access_time(block.length)
+        self.local_bytes += block.length
+        return unpack_atom_block(self._payload(block))
+
+    def write(
+        self, block: SharedBlock, data: AtomPseudoBlock, unit_id: int
+    ) -> None:
+        """``NDFT_Write``: intra-stack overwrite of a shared block."""
+        if self.stack_of(unit_id) != block.stack_id:
+            raise CommunicationError(
+                f"unit {unit_id} is not in stack {block.stack_id}; "
+                "use write_remote"
+            )
+        payload = pack_atom_block(data)
+        if payload.nbytes != block.length:
+            raise AllocationError(
+                f"payload size {payload.nbytes} != block length {block.length}"
+            )
+        self._stores[block.stack_id].buffers[block.offset] = payload
+        self.elapsed_time += self.spm.access_time(block.length)
+        self.local_bytes += block.length
+
+    def read_remote(self, block: SharedBlock, unit_id: int) -> AtomPseudoBlock:
+        """``NDFT_Read_Remote``: fetch a block owned by another stack via
+        the hierarchical arbiters; repeated fetches are filtered locally."""
+        dst_stack = self.stack_of(unit_id)
+        self.elapsed_time += self.comm.transfer(
+            block.block_id, block.length, block.stack_id, dst_stack
+        )
+        self.elapsed_time += self.spm.access_time(block.length)
+        return unpack_atom_block(self._payload(block))
+
+    def write_remote(
+        self, block: SharedBlock, data: AtomPseudoBlock, unit_id: int
+    ) -> None:
+        """``NDFT_Write_Remote``: update a block owned by another stack.
+
+        Writes invalidate any staged copies of the block (the arbiters'
+        filter must not serve stale data)."""
+        src_stack = self.stack_of(unit_id)
+        payload = pack_atom_block(data)
+        if payload.nbytes != block.length:
+            raise AllocationError(
+                f"payload size {payload.nbytes} != block length {block.length}"
+            )
+        self.elapsed_time += self.comm.transfer(
+            block.block_id, block.length, src_stack, block.stack_id
+        )
+        self._stores[block.stack_id].buffers[block.offset] = payload
+        for arbiter in self.comm.arbiters:
+            arbiter.staged_blocks.pop(block.block_id, None)
+
+    def broadcast(self, block: SharedBlock) -> None:
+        """``NDFT_Broadcast``: register a block's descriptor with every
+        unit's index table (descriptor-only: the payload stays put)."""
+        for unit_id, table in enumerate(self._tables):
+            if block.atom_index not in table.blocks:
+                table.register(block)
+        # Descriptor distribution rides the mesh once per remote stack.
+        for stack in range(self.n_stacks):
+            if stack != block.stack_id:
+                self.elapsed_time += self.mesh.point_to_point_time(
+                    block.descriptor_bytes, block.stack_id, stack
+                )
+
+    # ------------------------------------------------------------------
+    # Accounting
+    # ------------------------------------------------------------------
+    def shared_bytes_by_stack(self) -> list[int]:
+        return [s.allocator.allocated_bytes for s in self._stores]
+
+    def index_bytes_by_unit(self) -> list[int]:
+        return [t.index_bytes for t in self._tables]

@@ -1,0 +1,119 @@
+"""Pseudopotential data layouts: replicated vs shared-block (Algorithm 1).
+
+Both layouts implement the same operation — apply the nonlocal
+pseudopotential to a batch of wavefunctions — with different data
+organizations:
+
+- :class:`ReplicatedLayout` is the baseline the paper criticizes: every
+  rank holds a private copy of every atom's payload.  No communication,
+  maximal memory.
+- :class:`SharedBlockLayout` is Algorithm 1: each rank packs the atoms it
+  owns into shared blocks (``NDFT_Alloc_Shared`` + ``NDFT_Broadcast``),
+  keeps only an index table for the rest, and pulls remote payloads
+  through the hierarchical runtime on use.
+
+The integration tests assert the two layouts produce *identical*
+wavefunction updates, and the benchmarks compare their memory and traffic.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dft.pseudopotential import AtomPseudoBlock, apply_nonlocal
+from repro.errors import ConfigError
+from repro.shmem.api import NdftSharedMemory
+from repro.shmem.shared_block import SharedBlock
+
+
+@dataclass
+class ReplicatedLayout:
+    """Every rank keeps a full private copy of all pseudopotential blocks."""
+
+    blocks: tuple[AtomPseudoBlock, ...]
+    n_ranks: int
+
+    def __post_init__(self) -> None:
+        if self.n_ranks < 1:
+            raise ConfigError("n_ranks must be >= 1")
+        self.blocks = tuple(self.blocks)
+
+    @property
+    def bytes_per_rank(self) -> int:
+        return sum(b.nbytes for b in self.blocks)
+
+    @property
+    def total_bytes(self) -> int:
+        return self.bytes_per_rank * self.n_ranks
+
+    def apply(self, coeffs: np.ndarray, rank: int = 0) -> np.ndarray:
+        """Apply the nonlocal pseudopotential (identical on every rank)."""
+        if not 0 <= rank < self.n_ranks:
+            raise ConfigError(f"rank {rank} out of range [0, {self.n_ranks})")
+        return apply_nonlocal(list(self.blocks), coeffs)
+
+
+@dataclass
+class SharedBlockLayout:
+    """Algorithm 1: one shared copy per stack + per-rank index tables."""
+
+    blocks: tuple[AtomPseudoBlock, ...]
+    runtime: NdftSharedMemory
+    _descriptors: list[SharedBlock] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        self.blocks = tuple(self.blocks)
+        if not self.blocks:
+            raise ConfigError("at least one pseudopotential block required")
+        # Algorithm 1, lines 4-16: the owner of each atom packs its payload
+        # into shared memory; everyone else records the address.
+        for index, block in enumerate(self.blocks):
+            owner_unit = index % self.runtime.n_units
+            descriptor = self.runtime.alloc_shared(block, owner_unit)
+            self.runtime.broadcast(descriptor)
+            self._descriptors.append(descriptor)
+
+    @property
+    def n_ranks(self) -> int:
+        return self.runtime.n_units
+
+    def owner_unit(self, atom_index: int) -> int:
+        return atom_index % self.runtime.n_units
+
+    def bytes_per_rank(self, rank: int) -> int:
+        """A rank's private footprint: its owned payloads + its index table."""
+        if not 0 <= rank < self.n_ranks:
+            raise ConfigError(f"rank {rank} out of range [0, {self.n_ranks})")
+        owned = sum(
+            b.nbytes
+            for i, b in enumerate(self.blocks)
+            if self.owner_unit(i) == rank
+        )
+        return owned + self.runtime.table_of(rank).index_bytes
+
+    @property
+    def total_bytes(self) -> int:
+        """System-wide footprint: one payload copy + every index table."""
+        payload = sum(
+            store.allocator.allocated_bytes for store in self.runtime._stores
+        )
+        indexes = sum(self.runtime.index_bytes_by_unit())
+        return payload + indexes
+
+    def apply(self, coeffs: np.ndarray, rank: int = 0) -> np.ndarray:
+        """Algorithm 1, lines 17-21: update wavefunctions by pulling each
+        atom's payload through the shared-memory APIs."""
+        if not 0 <= rank < self.n_ranks:
+            raise ConfigError(f"rank {rank} out of range [0, {self.n_ranks})")
+        table = self.runtime.table_of(rank)
+        my_stack = self.runtime.stack_of(rank)
+        fetched: list[AtomPseudoBlock] = []
+        for atom_index in range(len(self.blocks)):
+            descriptor = table.lookup(atom_index)
+            if descriptor.stack_id == my_stack:
+                fetched.append(self.runtime.read(descriptor, rank))
+            else:
+                fetched.append(self.runtime.read_remote(descriptor, rank))
+        return apply_nonlocal(fetched, coeffs)

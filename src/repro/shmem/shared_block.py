@@ -1,0 +1,130 @@
+"""The ``sharedBL`` shared-block data structure (paper Algorithm 1, Fig. 5).
+
+A shared block packages one atom's pseudopotential payload — integer index
+arrays plus double-precision projector matrices — into a single contiguous
+buffer placed in a stack's shared memory.  Every process keeps only the
+*descriptor* (id, owning stack, offset, length); the payload itself exists
+once per stack instead of once per process, which is the entire point of
+the optimization.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.dft.pseudopotential import AtomPseudoBlock
+from repro.errors import AllocationError
+
+
+@dataclass(frozen=True)
+class SharedBlock:
+    """Descriptor of one shared block (what ``NDFT_Alloc_Shared`` returns).
+
+    The descriptor is what ranks exchange and store in their index tables;
+    it is a few dozen bytes regardless of the payload size.
+    """
+
+    block_id: int
+    atom_index: int
+    stack_id: int
+    offset: int
+    length: int
+
+    def __post_init__(self) -> None:
+        if self.length <= 0:
+            raise AllocationError(f"shared block length must be positive, got {self.length}")
+        if self.offset < 0:
+            raise AllocationError(f"shared block offset must be non-negative")
+
+    @property
+    def descriptor_bytes(self) -> int:
+        """Size of the descriptor itself (5 x int64)."""
+        return 5 * 8
+
+
+def pack_atom_block(block: AtomPseudoBlock) -> np.ndarray:
+    """Serialize one atom's pseudopotential payload into a flat float64
+    buffer (Algorithm 1 line 9: "write local pseudopotential information as
+    a block into shared memory").
+
+    Layout: [n_proj, n_pw, atom_index, coupling..., pw_index..., re..., im...]
+    """
+    n_proj, n_pw = block.projectors_re.shape
+    header = np.array([n_proj, n_pw, block.atom_index], dtype=np.float64)
+    return np.concatenate(
+        [
+            header,
+            block.coupling.astype(np.float64),
+            block.pw_index.astype(np.float64),
+            block.projectors_re.ravel(),
+            block.projectors_im.ravel(),
+        ]
+    )
+
+
+def unpack_atom_block(buffer: np.ndarray) -> AtomPseudoBlock:
+    """Inverse of :func:`pack_atom_block`."""
+    buffer = np.asarray(buffer, dtype=np.float64)
+    if buffer.size < 3:
+        raise AllocationError("shared block buffer too short for a header")
+    n_proj = int(buffer[0])
+    n_pw = int(buffer[1])
+    atom_index = int(buffer[2])
+    expected = 3 + n_proj + n_pw + 2 * n_proj * n_pw
+    if buffer.size != expected:
+        raise AllocationError(
+            f"shared block buffer has {buffer.size} elements, expected {expected}"
+        )
+    cursor = 3
+    coupling = buffer[cursor : cursor + n_proj].copy()
+    cursor += n_proj
+    pw_index = buffer[cursor : cursor + n_pw].astype(np.int64)
+    cursor += n_pw
+    re = buffer[cursor : cursor + n_proj * n_pw].reshape(n_proj, n_pw).copy()
+    cursor += n_proj * n_pw
+    im = buffer[cursor : cursor + n_proj * n_pw].reshape(n_proj, n_pw).copy()
+    return AtomPseudoBlock(
+        atom_index=atom_index,
+        pw_index=pw_index,
+        projectors_re=re,
+        projectors_im=im,
+        coupling=coupling,
+    )
+
+
+@dataclass
+class SharedBlockTable:
+    """Per-rank index of shared blocks (Algorithm 1 lines 12-14: "obtain
+    the address of the shared block").
+
+    Maps atom index -> :class:`SharedBlock` descriptor.  The table is the
+    only per-rank state the optimized layout keeps for remote atoms, so its
+    size is what the footprint model charges per rank.
+    """
+
+    blocks: dict[int, SharedBlock] = field(default_factory=dict)
+
+    def register(self, block: SharedBlock) -> None:
+        if block.atom_index in self.blocks:
+            raise AllocationError(
+                f"atom {block.atom_index} already has a shared block"
+            )
+        self.blocks[block.atom_index] = block
+
+    def lookup(self, atom_index: int) -> SharedBlock:
+        try:
+            return self.blocks[atom_index]
+        except KeyError:
+            raise AllocationError(
+                f"no shared block registered for atom {atom_index}"
+            ) from None
+
+    def __len__(self) -> int:
+        return len(self.blocks)
+
+    @property
+    def index_bytes(self) -> int:
+        """Exact size of this rank's index table."""
+        return sum(b.descriptor_bytes for b in self.blocks.values())

@@ -1,0 +1,91 @@
+"""Unit constants and formatting helpers used across the NDFT reproduction.
+
+All internal accounting uses SI base units: bytes, seconds, Hz, FLOP/s.
+Physics modules use Hartree atomic units (energies in Hartree, lengths in
+Bohr) and convert at the boundary with these helpers.
+"""
+
+from __future__ import annotations
+
+# ---------------------------------------------------------------------------
+# Information units (binary prefixes, as used for memory capacities)
+# ---------------------------------------------------------------------------
+
+KiB = 1024
+MiB = 1024 * KiB
+GiB = 1024 * MiB
+TiB = 1024 * GiB
+
+# Decimal prefixes (as used for bandwidths and rates)
+KB = 1_000
+MB = 1_000 * KB
+GB = 1_000 * MB
+TB = 1_000 * GB
+
+# ---------------------------------------------------------------------------
+# Time / frequency
+# ---------------------------------------------------------------------------
+
+NS = 1e-9
+US = 1e-6
+MS = 1e-3
+
+KHZ = 1e3
+MHZ = 1e6
+GHZ = 1e9
+
+# ---------------------------------------------------------------------------
+# Compute rates
+# ---------------------------------------------------------------------------
+
+GFLOPS = 1e9
+TFLOPS = 1e12
+
+# ---------------------------------------------------------------------------
+# Physics conversions (CODATA-2018 rounded; precision is irrelevant for the
+# performance model, but keeps the physics output in recognizable ranges)
+# ---------------------------------------------------------------------------
+
+HARTREE_TO_EV = 27.211386245988
+EV_TO_HARTREE = 1.0 / HARTREE_TO_EV
+BOHR_TO_ANGSTROM = 0.529177210903
+ANGSTROM_TO_BOHR = 1.0 / BOHR_TO_ANGSTROM
+RYDBERG_TO_HARTREE = 0.5
+
+DOUBLE_BYTES = 8
+COMPLEX_BYTES = 16
+INT_BYTES = 8
+
+
+def format_bytes(n: float) -> str:
+    """Render a byte count with a binary prefix, e.g. ``format_bytes(2**34)``
+    -> ``'16.00 GiB'``."""
+    if n < 0:
+        raise ValueError(f"byte count must be non-negative, got {n}")
+    for unit, name in ((TiB, "TiB"), (GiB, "GiB"), (MiB, "MiB"), (KiB, "KiB")):
+        if n >= unit:
+            return f"{n / unit:.2f} {name}"
+    return f"{n:.0f} B"
+
+
+def format_seconds(t: float) -> str:
+    """Render a duration with an adaptive unit, e.g. ``format_seconds(3e-5)``
+    -> ``'30.00 us'``."""
+    if t < 0:
+        raise ValueError(f"duration must be non-negative, got {t}")
+    if t >= 1.0:
+        return f"{t:.3f} s"
+    if t >= MS:
+        return f"{t / MS:.2f} ms"
+    if t >= US:
+        return f"{t / US:.2f} us"
+    return f"{t / NS:.2f} ns"
+
+
+def format_rate(flops_per_s: float) -> str:
+    """Render a compute rate, e.g. ``format_rate(3.84e11)`` -> ``'384.0 GFLOP/s'``."""
+    if flops_per_s < 0:
+        raise ValueError(f"rate must be non-negative, got {flops_per_s}")
+    if flops_per_s >= TFLOPS:
+        return f"{flops_per_s / TFLOPS:.2f} TFLOP/s"
+    return f"{flops_per_s / GFLOPS:.1f} GFLOP/s"

@@ -1,0 +1,19 @@
+"""Workload definitions: the paper's physical systems."""
+
+from repro.workloads.silicon import (
+    LARGE_SYSTEM,
+    PAPER_SYSTEMS,
+    SMALL_SYSTEM,
+    SiliconWorkload,
+    paper_systems,
+    silicon_workload,
+)
+
+__all__ = [
+    "SiliconWorkload",
+    "silicon_workload",
+    "paper_systems",
+    "PAPER_SYSTEMS",
+    "SMALL_SYSTEM",
+    "LARGE_SYSTEM",
+]

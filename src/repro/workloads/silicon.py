@@ -1,0 +1,79 @@
+"""The paper's physical systems: Si_16 ... Si_2048 (§V).
+
+A :class:`SiliconWorkload` bundles the three views of one system that the
+rest of the package consumes:
+
+- its *name and atom count* (the evaluation axis of Fig. 8);
+- its analytic :class:`~repro.dft.workload.ProblemSize` (performance
+  models at paper resolution);
+- optionally, an *executable* scaled-down configuration (crystal + basis
+  cutoff) small enough to run the functional LR-TDDFT implementation —
+  available for Si_8 through Si_64.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.dft.basis import PlaneWaveBasis
+from repro.dft.lattice import Crystal, silicon_supercell
+from repro.dft.workload import ProblemSize, problem_size
+from repro.errors import ConfigError
+
+#: Atom counts evaluated in the paper (Fig. 8 x-axis).
+PAPER_ATOM_COUNTS = (16, 32, 64, 128, 256, 1024, 2048)
+
+#: The two systems Fig. 4 / Fig. 7 / Table I single out.
+SMALL_SYSTEM = 64
+LARGE_SYSTEM = 1024
+
+#: Largest system the functional numpy path runs comfortably in tests.
+MAX_EXECUTABLE_ATOMS = 64
+
+#: Default cutoff (Hartree) for executable scaled-down runs; low enough to
+#: keep eigh tractable, high enough to include the EPM form-factor shells.
+EXECUTABLE_ECUT = 2.5
+
+
+@dataclass(frozen=True)
+class SiliconWorkload:
+    """One Si_N evaluation point."""
+
+    n_atoms: int
+    problem: ProblemSize
+
+    @property
+    def label(self) -> str:
+        return f"Si_{self.n_atoms}"
+
+    @property
+    def is_executable(self) -> bool:
+        """Can the functional numpy LR-TDDFT run this system (scaled)?"""
+        return self.n_atoms <= MAX_EXECUTABLE_ATOMS
+
+    def build_cell(self) -> Crystal:
+        """The actual supercell (any size; cheap to construct)."""
+        return silicon_supercell(self.n_atoms)
+
+    def build_basis(self, ecut: float = EXECUTABLE_ECUT) -> PlaneWaveBasis:
+        """A scaled-down executable basis.  Refuses sizes that would make
+        the dense ground-state solve intractable in a test environment."""
+        if not self.is_executable:
+            raise ConfigError(
+                f"{self.label} is analytic-only; executable runs support up "
+                f"to Si_{MAX_EXECUTABLE_ATOMS}"
+            )
+        return PlaneWaveBasis(self.build_cell(), ecut=ecut)
+
+
+def silicon_workload(n_atoms: int) -> SiliconWorkload:
+    """Build the evaluation point for Si_{n_atoms}."""
+    return SiliconWorkload(n_atoms=n_atoms, problem=problem_size(n_atoms))
+
+
+def paper_systems() -> list[SiliconWorkload]:
+    """All systems of the paper's scalability study, in size order."""
+    return [silicon_workload(n) for n in PAPER_ATOM_COUNTS]
+
+
+PAPER_SYSTEMS = PAPER_ATOM_COUNTS

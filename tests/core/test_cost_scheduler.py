@@ -1,0 +1,132 @@
+"""Eq. 1 cost model, the cost-aware scheduler and its policies."""
+
+import itertools
+
+import pytest
+
+from repro.core.cost_model import OffloadCostModel
+from repro.core.pipeline import build_pipeline
+from repro.core.scheduler import (
+    GRANULARITY_CROSSINGS_PER_STAGE,
+    Placement,
+    SchedulingPolicy,
+    granularity_overheads,
+)
+from repro.dft.workload import problem_size
+from repro.errors import SchedulingError
+from repro.hw.interconnect import HostLink
+from repro.model import PhaseName
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return build_pipeline(problem_size(64))
+
+
+@pytest.fixture(scope="module")
+def pipeline_large():
+    return build_pipeline(problem_size(1024))
+
+
+@pytest.fixture(scope="module")
+def scheduler(framework):
+    return framework.scheduler
+
+
+class TestCostModel:
+    def test_eq1_is_sum_of_dt_plus_cxt(self):
+        model = OffloadCostModel(
+            host_link=HostLink(bandwidth=64e9, base_latency=0.0),
+            context_switch=1e-4,
+        )
+        edges = [64e9, 32e9]  # 1 s + 0.5 s of DT
+        overhead = model.schedule_overhead(edges)
+        assert overhead == pytest.approx(1.5 + 2e-4)
+
+    def test_empty_schedule_free(self):
+        model = OffloadCostModel(
+            host_link=HostLink(bandwidth=64e9), context_switch=1e-4
+        )
+        assert model.schedule_overhead([]) == 0.0
+
+
+class TestPolicies:
+    def test_all_cpu_has_no_boundaries(self, scheduler, pipeline):
+        schedule = scheduler.schedule(pipeline, SchedulingPolicy.ALL_CPU)
+        assert schedule.n_boundaries == 0
+        assert schedule.scheduling_overhead == 0.0
+        assert set(schedule.assignments.values()) == {Placement.CPU}
+
+    def test_all_ndp_has_no_boundaries(self, scheduler, pipeline):
+        schedule = scheduler.schedule(pipeline, SchedulingPolicy.ALL_NDP)
+        assert schedule.n_boundaries == 0
+        assert set(schedule.assignments.values()) == {Placement.NDP}
+
+    def test_cost_aware_beats_homogeneous(self, scheduler, pipeline_large):
+        cost_aware = scheduler.schedule(pipeline_large, SchedulingPolicy.COST_AWARE)
+        all_cpu = scheduler.schedule(pipeline_large, SchedulingPolicy.ALL_CPU)
+        all_ndp = scheduler.schedule(pipeline_large, SchedulingPolicy.ALL_NDP)
+        assert cost_aware.predicted_total < all_cpu.predicted_total
+        assert cost_aware.predicted_total < all_ndp.predicted_total
+
+    def test_cost_aware_is_exhaustive_optimum(self, scheduler, pipeline):
+        """Brute-force check against every assignment."""
+        best = min(
+            scheduler.evaluate(
+                pipeline, dict(zip(pipeline.stage_names, choices))
+            ).predicted_total
+            for choices in itertools.product(
+                (Placement.CPU, Placement.NDP), repeat=len(pipeline.stage_names)
+            )
+        )
+        schedule = scheduler.schedule(pipeline, SchedulingPolicy.COST_AWARE)
+        assert schedule.predicted_total == pytest.approx(best)
+
+    def test_paper_placement_large(self, scheduler, pipeline_large):
+        """The paper's split: memory-bound kernels on NDP, GEMM/SYEVD on
+        the host CPU (for the large system)."""
+        schedule = scheduler.schedule(pipeline_large, SchedulingPolicy.COST_AWARE)
+        a = schedule.assignments
+        assert a[str(PhaseName.FFT)] is Placement.NDP
+        assert a[str(PhaseName.FACE_SPLIT)] is Placement.NDP
+        assert a[str(PhaseName.GLOBAL_COMM)] is Placement.NDP
+        assert a[str(PhaseName.PSEUDOPOTENTIAL)] is Placement.NDP
+        assert a[str(PhaseName.GEMM)] is Placement.CPU
+        assert a[str(PhaseName.SYEVD)] is Placement.CPU
+
+    def test_naive_ignores_transfers(self, scheduler, pipeline):
+        naive = scheduler.schedule(pipeline, SchedulingPolicy.NAIVE)
+        for name in pipeline.stage_names:
+            cpu_t = scheduler.stage_time(pipeline, name, Placement.CPU).total
+            ndp_t = scheduler.stage_time(pipeline, name, Placement.NDP).total
+            expected = Placement.CPU if cpu_t <= ndp_t else Placement.NDP
+            assert naive.assignments[name] is expected
+
+    def test_missing_stage_rejected(self, scheduler, pipeline):
+        with pytest.raises(SchedulingError):
+            scheduler.evaluate(pipeline, {"fft": Placement.CPU})
+
+    def test_overhead_fraction_in_paper_band(self, scheduler, pipeline_large):
+        schedule = scheduler.schedule(pipeline_large, SchedulingPolicy.COST_AWARE)
+        assert 0.01 < schedule.overhead_fraction() < 0.10
+
+
+class TestGranularity:
+    def test_function_granularity_cheapest_heterogeneous(self, scheduler, pipeline):
+        overheads = granularity_overheads(pipeline, scheduler)
+        assert overheads["kernel"] == 0.0
+        assert (
+            overheads["function"]
+            < overheads["basic_block"]
+            < overheads["instruction"]
+        )
+
+    def test_instruction_granularity_orders_of_magnitude_worse(
+        self, scheduler, pipeline
+    ):
+        overheads = granularity_overheads(pipeline, scheduler)
+        assert overheads["instruction"] > 50 * overheads["function"]
+
+    def test_crossing_table_shape(self):
+        assert GRANULARITY_CROSSINGS_PER_STAGE["function"] == 1
+        assert GRANULARITY_CROSSINGS_PER_STAGE["kernel"] == 0

@@ -1,0 +1,111 @@
+"""Kernel IR and the static-code-analyzer substitute."""
+
+import pytest
+
+from repro.core.ir import CodeSegment, KernelFunction, function_from_workload
+from repro.core.sca import StaticCodeAnalyzer
+from repro.dft.workload import problem_size, stage_workloads
+from repro.errors import ConfigError
+from repro.hw.roofline import RooflineModel
+from repro.model import AccessPattern, PhaseName
+
+
+def seg(name, flops, nbytes, pattern=AccessPattern.SEQUENTIAL):
+    return CodeSegment(
+        name=name, flops=flops, bytes_read=nbytes * 0.6,
+        bytes_written=nbytes * 0.4, access_pattern=pattern, instructions=100,
+    )
+
+
+class TestIr:
+    def test_function_aggregates(self):
+        fn = KernelFunction(
+            name="f",
+            segments=(seg("a", 100, 50), seg("b", 300, 150)),
+            live_in_bytes=10,
+            live_out_bytes=20,
+        )
+        assert fn.flops == 400
+        assert fn.bytes_total == 200
+        assert fn.arithmetic_intensity == pytest.approx(2.0)
+        assert fn.instructions == 200
+
+    def test_consistency_uniform_segments(self):
+        fn = KernelFunction(
+            name="f", segments=(seg("a", 100, 50), seg("b", 200, 100)),
+            live_in_bytes=0, live_out_bytes=0,
+        )
+        assert fn.intensity_consistency() == pytest.approx(1.0)
+
+    def test_consistency_mixed_segments(self):
+        fn = KernelFunction(
+            name="f",
+            segments=(seg("compute", 10000, 10), seg("stream", 10, 10000)),
+            live_in_bytes=0, live_out_bytes=0,
+        )
+        assert fn.intensity_consistency() < 0.7
+
+    def test_empty_function_rejected(self):
+        with pytest.raises(ConfigError):
+            KernelFunction(name="f", segments=(), live_in_bytes=0, live_out_bytes=0)
+
+    def test_from_workload_splits_evenly(self):
+        workload = stage_workloads(problem_size(64))[PhaseName.FFT]
+        fn = function_from_workload(workload, 100.0, 200.0, n_segments=5)
+        assert len(fn.segments) == 5
+        assert fn.flops == pytest.approx(workload.flops)
+        assert fn.intensity_consistency() == pytest.approx(1.0)
+        assert fn.workload is workload
+
+
+class TestSca:
+    @pytest.fixture(scope="class")
+    def sca(self):
+        return StaticCodeAnalyzer(
+            cpu_roofline=RooflineModel(name="cpu", peak_flops=1e12, peak_bandwidth=1e11),
+            ndp_roofline=RooflineModel(name="ndp", peak_flops=2e12, peak_bandwidth=4e12),
+        )
+
+    def test_memory_bound_prefers_ndp(self, sca):
+        fn = KernelFunction(
+            name="stream", segments=(seg("s", 1e9, 1e10),),
+            live_in_bytes=1e8, live_out_bytes=1e8,
+        )
+        report = sca.analyze(fn)
+        assert report.boundedness == "memory"
+        assert report.prefers_ndp
+
+    def test_compute_bound_prefers_cpu_when_cpu_stronger(self):
+        sca = StaticCodeAnalyzer(
+            cpu_roofline=RooflineModel(name="cpu", peak_flops=1e12, peak_bandwidth=1e11),
+            ndp_roofline=RooflineModel(name="ndp", peak_flops=2e11, peak_bandwidth=4e12),
+        )
+        fn = KernelFunction(
+            name="gemm",
+            segments=(seg("g", 1e12, 1e9, AccessPattern.BLOCKED),),
+            live_in_bytes=1e7, live_out_bytes=1e7,
+        )
+        report = sca.analyze(fn)
+        assert report.boundedness == "compute"
+        assert not report.prefers_ndp
+
+    def test_transfer_sets_from_live_data(self, sca):
+        fn = KernelFunction(
+            name="f", segments=(seg("s", 10, 10),),
+            live_in_bytes=123.0, live_out_bytes=456.0,
+        )
+        report = sca.analyze(fn)
+        assert report.transfer_in_bytes == 123.0
+        assert report.transfer_out_bytes == 456.0
+
+    def test_analyze_all_lrtddft_functions(self, sca):
+        from repro.core.pipeline import build_pipeline
+
+        pipeline = build_pipeline(problem_size(64))
+        reports = sca.analyze_all([s.function for s in pipeline.stages])
+        assert set(reports) == set(pipeline.stage_names)
+        # Fig. 4 facts visible to the analyzer:
+        assert reports["fft"].boundedness == "memory"
+        assert reports["gemm"].boundedness == "compute"
+        # The consistency that justifies function-level offload:
+        assert all(r.intensity_consistency > 0.9 for r in reports.values())

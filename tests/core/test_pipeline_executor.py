@@ -1,0 +1,106 @@
+"""Pipeline construction, the DES executor, framework and baselines."""
+
+import pytest
+
+from repro.core.baselines import run_cpu_baseline, run_gpu_baseline
+from repro.core.pipeline import STAGE_ORDER, build_pipeline
+from repro.core.scheduler import Placement, SchedulingPolicy
+from repro.dft.workload import problem_size
+from repro.errors import ConfigError
+from repro.model import PhaseName
+
+
+@pytest.fixture(scope="module")
+def pipeline():
+    return build_pipeline(problem_size(64))
+
+
+class TestPipeline:
+    def test_stage_order_matches_fig1(self, pipeline):
+        assert pipeline.stage_names == [str(p) for p in STAGE_ORDER]
+
+    def test_edges_form_chain(self, pipeline):
+        names = pipeline.stage_names
+        for src, dst in zip(names, names[1:]):
+            assert len(pipeline.edges_between(src, dst)) == 1
+
+    def test_edge_bytes_positive_and_shrink_at_gemm(self, pipeline):
+        pair_edge = pipeline.edges_between("face_split", "fft")[0]
+        sphere_edge = pipeline.edges_between("global_comm", "gemm")[0]
+        assert 0 < sphere_edge.nbytes < pair_edge.nbytes
+
+    def test_unknown_stage_lookup(self, pipeline):
+        with pytest.raises(ConfigError):
+            pipeline.stage("nonexistent")
+
+    def test_functions_attached(self, pipeline):
+        for stage in pipeline.stages:
+            assert stage.function.workload is stage.workload
+
+
+class TestExecutor:
+    def test_total_is_sum_of_chain(self, framework, pipeline):
+        schedule = framework.scheduler.schedule(pipeline, SchedulingPolicy.COST_AWARE)
+        report = framework.executor.execute(pipeline, schedule)
+        expected = sum(report.phase_seconds.values()) + report.scheduling_overhead
+        assert report.total_time == pytest.approx(expected, rel=1e-9)
+
+    def test_overhead_matches_schedule(self, framework, pipeline):
+        schedule = framework.scheduler.schedule(pipeline, SchedulingPolicy.COST_AWARE)
+        report = framework.executor.execute(pipeline, schedule)
+        assert report.scheduling_overhead == pytest.approx(
+            schedule.scheduling_overhead
+        )
+
+    def test_homogeneous_schedule_zero_overhead(self, framework, pipeline):
+        schedule = framework.scheduler.schedule(pipeline, SchedulingPolicy.ALL_CPU)
+        report = framework.executor.execute(pipeline, schedule)
+        assert report.scheduling_overhead == 0.0
+
+    def test_breakdown_includes_scheduling_bucket(self, framework, pipeline):
+        schedule = framework.scheduler.schedule(pipeline, SchedulingPolicy.COST_AWARE)
+        report = framework.executor.execute(pipeline, schedule)
+        breakdown = report.breakdown()
+        assert "scheduling" in breakdown
+        assert set(breakdown) == set(report.phase_seconds) | {"scheduling"}
+
+
+class TestFramework:
+    def test_run_by_atom_count(self, framework):
+        result = framework.run(n_atoms=64)
+        assert result.problem.n_atoms == 64
+        assert result.total_time > 0
+
+    def test_requires_problem_or_atoms(self, framework):
+        with pytest.raises(ValueError):
+            framework.run()
+
+    def test_sca_reports_for_all_stages(self, framework):
+        result = framework.run(n_atoms=64)
+        assert set(result.sca_reports) == {str(p) for p in STAGE_ORDER}
+
+    def test_memory_fields(self, framework):
+        result = framework.run(n_atoms=1024)
+        assert result.memory_footprint_gb < result.replicated_footprint_gb
+        assert result.memory_reduction_percent == pytest.approx(57.8, abs=0.3)
+
+
+class TestBaselines:
+    def test_cpu_baseline_single_placement(self):
+        report = run_cpu_baseline(problem_size(64))
+        assert set(report.assignments.values()) == {Placement.CPU}
+        assert report.scheduling_overhead == 0.0
+        assert report.total_time == pytest.approx(sum(report.phase_seconds.values()))
+
+    def test_gpu_baseline_pays_transfers(self):
+        """GPU phase totals must exceed pure compute+memory overlap — the
+        data-movement critique the paper starts from."""
+        report = run_gpu_baseline(problem_size(1024))
+        fft = report.phase_times[str(PhaseName.FFT)]
+        assert fft.transfer_time > 0
+
+    def test_baselines_slower_than_ndft_large(self, framework):
+        problem = problem_size(1024)
+        ndft = framework.run(problem=problem).total_time
+        assert run_cpu_baseline(problem).total_time > 3 * ndft
+        assert run_gpu_baseline(problem).total_time > 1.5 * ndft

@@ -1,0 +1,65 @@
+"""Execution-timeline tracer."""
+
+import pytest
+
+from repro.core.pipeline import build_pipeline
+from repro.core.scheduler import SchedulingPolicy
+from repro.core.trace import (
+    TraceEvent,
+    build_timeline,
+    render_gantt,
+    total_time,
+    validate_timeline,
+)
+from repro.dft.workload import problem_size
+from repro.errors import SimulationError
+
+
+@pytest.fixture(scope="module")
+def traced(framework):
+    pipeline = build_pipeline(problem_size(1024))
+    schedule = framework.scheduler.schedule(pipeline, SchedulingPolicy.COST_AWARE)
+    events = build_timeline(pipeline, schedule, framework.cost_model)
+    return pipeline, schedule, events
+
+
+class TestTimeline:
+    def test_every_stage_present(self, traced):
+        pipeline, _schedule, events = traced
+        labels = {e.label for e in events if e.lane in ("cpu", "ndp")}
+        assert labels == set(pipeline.stage_names)
+
+    def test_no_lane_overlap(self, traced):
+        _pipeline, _schedule, events = traced
+        validate_timeline(events)  # must not raise
+
+    def test_total_matches_executor(self, framework, traced):
+        pipeline, schedule, events = traced
+        report = framework.executor.execute(pipeline, schedule)
+        assert total_time(events) == pytest.approx(report.total_time, rel=1e-9)
+
+    def test_link_events_only_at_boundaries(self, traced):
+        _pipeline, schedule, events = traced
+        link_events = [e for e in events if e.lane == "link"]
+        assert len(link_events) == schedule.n_boundaries
+
+    def test_overlap_detection(self):
+        events = [
+            TraceEvent("cpu", "a", 0.0, 2.0),
+            TraceEvent("cpu", "b", 1.0, 3.0),
+        ]
+        with pytest.raises(SimulationError):
+            validate_timeline(events)
+
+    def test_bad_event_rejected(self):
+        with pytest.raises(SimulationError):
+            TraceEvent("cpu", "x", 2.0, 1.0)
+
+    def test_gantt_renders(self, traced):
+        _pipeline, _schedule, events = traced
+        chart = render_gantt(events)
+        assert "timeline:" in chart
+        assert "cpu" in chart and "ndp" in chart
+
+    def test_empty_gantt(self):
+        assert render_gantt([]) == "(empty timeline)"

@@ -1,0 +1,105 @@
+"""Unit tests for the Casida/TDA response-matrix assembly."""
+
+import numpy as np
+import pytest
+
+from repro.dft.hamiltonian import (
+    build_tda_matrix,
+    coulomb_multiplier,
+    pair_energy_differences,
+    select_active_window,
+)
+from repro.dft.kernels import KernelCounters
+from repro.errors import ConfigError
+
+
+class TestActiveWindow:
+    def test_default_covers_all(self, si8_ground_state):
+        window = select_active_window(si8_ground_state)
+        assert window.n_valence == si8_ground_state.n_valence
+        assert window.n_conduction == si8_ground_state.n_conduction
+
+    def test_window_near_gap(self, si8_ground_state):
+        window = select_active_window(si8_ground_state, 3, 2)
+        # Highest 3 valence, lowest 2 conduction.
+        nv = si8_ground_state.n_valence
+        assert list(window.valence_index) == [nv - 3, nv - 2, nv - 1]
+        assert list(window.conduction_index) == [nv, nv + 1]
+        assert window.n_pairs == 6
+
+    def test_rejects_out_of_range(self, si8_ground_state):
+        with pytest.raises(ConfigError):
+            select_active_window(si8_ground_state, 0, 2)
+        with pytest.raises(ConfigError):
+            select_active_window(si8_ground_state, 2, 10**6)
+
+
+class TestCoulombMultiplier:
+    def test_zero_at_gamma_positive_elsewhere(self, si8_basis):
+        v = coulomb_multiplier(si8_basis)
+        assert v[0] == 0.0
+        assert np.all(v[1:] > 0.0)
+
+    def test_inverse_g2(self, si8_basis):
+        v = coulomb_multiplier(si8_basis)
+        g = si8_basis.grid_g_vectors()
+        g2 = np.einsum("ij,ij->i", g, g)
+        mask = g2 > 1e-12
+        assert np.allclose(v[mask] * g2[mask], 4 * np.pi, rtol=1e-12)
+
+
+class TestEnergyDifferences:
+    def test_positive_and_ordered(self, si8_ground_state):
+        window = select_active_window(si8_ground_state, 4, 3)
+        diffs = pair_energy_differences(si8_ground_state, window)
+        assert diffs.shape == (12,)
+        assert np.all(diffs > 0)
+        gap = si8_ground_state.band_gap
+        assert diffs.min() == pytest.approx(gap, rel=1e-9)
+
+
+class TestTdaMatrix:
+    @pytest.fixture(scope="class")
+    def tda(self, si8_ground_state):
+        window = select_active_window(si8_ground_state, 4, 4)
+        counters = KernelCounters()
+        matrix = build_tda_matrix(si8_ground_state, window, counters=counters)
+        return matrix, window, counters
+
+    def test_hermitian(self, tda):
+        matrix, _window, _c = tda
+        assert np.allclose(matrix, matrix.conj().T, atol=1e-12)
+
+    def test_dimensions(self, tda):
+        matrix, window, _c = tda
+        assert matrix.shape == (window.n_pairs, window.n_pairs)
+
+    def test_diagonal_dominated_by_energy_differences(
+        self, tda, si8_ground_state
+    ):
+        matrix, window, _c = tda
+        diffs = pair_energy_differences(si8_ground_state, window)
+        coupling = np.real(np.diag(matrix)) - diffs
+        # The 2K correction is a fraction of the transition energies.
+        assert np.abs(coupling).max() < diffs.max()
+
+    def test_eigenvalues_positive(self, tda):
+        matrix, _window, _c = tda
+        eigenvalues = np.linalg.eigvalsh(matrix)
+        assert np.all(eigenvalues > 0)
+
+    def test_counter_covers_all_kernels(self, tda):
+        _matrix, _window, counters = tda
+        assert set(counters.calls) >= {"face_split", "fft", "gemm", "pointwise"}
+
+    def test_hartree_blockwise_psd(self, si8_ground_state):
+        """The Hartree-only coupling (no f_xc) must be PSD: it is a Gram
+        matrix in the Coulomb metric."""
+        window = select_active_window(si8_ground_state, 3, 3)
+        full = build_tda_matrix(si8_ground_state, window, include_correlation=False)
+        diffs = np.diag(pair_energy_differences(si8_ground_state, window))
+        # 2K_total = A - diag; with exchange-only f_xc, K = K_H + K_x where
+        # K_x is negative semidefinite; so lambda_min(K) >= lambda_min(K_x).
+        coupling = (full - diffs) / 2.0
+        eigenvalues = np.linalg.eigvalsh(coupling)
+        assert eigenvalues.max() > -1e-10  # not entirely negative

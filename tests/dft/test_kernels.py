@@ -1,0 +1,148 @@
+"""Unit tests for the instrumented numerical kernels and their counters."""
+
+import numpy as np
+import pytest
+
+from repro.dft.kernels import (
+    KernelCounters,
+    face_splitting_product,
+    fft_3d,
+    fft_flops,
+    gemm,
+    ifft_3d,
+    pointwise_multiply,
+    syevd,
+)
+from repro.errors import PhysicsError
+
+
+class TestCounters:
+    def test_record_accumulates(self):
+        c = KernelCounters()
+        c.record("x", flops=10, bytes_read=4, bytes_written=2)
+        c.record("x", flops=5, bytes_read=1, bytes_written=1)
+        assert c.flops == 15
+        assert c.bytes_total == 8
+        assert c.calls == {"x": 2}
+
+    def test_merged(self):
+        a = KernelCounters()
+        a.record("fft", 1, 2, 3)
+        b = KernelCounters()
+        b.record("gemm", 10, 20, 30)
+        b.record("fft", 1, 1, 1)
+        merged = a.merged(b)
+        assert merged.flops == 12
+        assert merged.calls == {"fft": 2, "gemm": 1}
+        # inputs untouched
+        assert a.flops == 1 and b.flops == 11
+
+    def test_arithmetic_intensity(self):
+        c = KernelCounters()
+        c.record("x", flops=100, bytes_read=40, bytes_written=10)
+        assert c.arithmetic_intensity == pytest.approx(2.0)
+
+    def test_ai_undefined_without_traffic(self):
+        with pytest.raises(PhysicsError):
+            KernelCounters().arithmetic_intensity
+
+
+class TestFft:
+    def test_flop_formula(self):
+        assert fft_flops(1024) == pytest.approx(5 * 1024 * 10)
+
+    def test_roundtrip(self, rng):
+        field = rng.normal(size=(4, 6, 5)) + 1j * rng.normal(size=(4, 6, 5))
+        assert np.allclose(ifft_3d(fft_3d(field)), field, atol=1e-12)
+
+    def test_matches_numpy(self, rng):
+        field = rng.normal(size=(3, 4, 5)).astype(complex)
+        assert np.allclose(fft_3d(field), np.fft.fftn(field), atol=1e-12)
+
+    def test_batch_axes(self, rng):
+        batch = rng.normal(size=(2, 3, 4, 5)).astype(complex)
+        out = fft_3d(batch)
+        for i in range(2):
+            assert np.allclose(out[i], np.fft.fftn(batch[i]), atol=1e-12)
+
+    def test_counter_accounting(self):
+        c = KernelCounters()
+        fft_3d(np.zeros((2, 4, 4, 4), dtype=complex), c)
+        assert c.flops == pytest.approx(2 * fft_flops(64))
+        assert c.bytes_read == 2 * 64 * 16
+        assert c.calls["fft"] == 1
+
+
+class TestFaceSplit:
+    def test_values(self):
+        psi_v = np.array([[1 + 1j, 2.0], [0.5, 1j]])
+        psi_c = np.array([[2.0, 1.0]])
+        pairs = face_splitting_product(psi_v, psi_c)
+        assert pairs.shape == (2, 2)
+        assert pairs[0, 0] == pytest.approx((1 - 1j) * 2.0)
+        assert pairs[1, 1] == pytest.approx(-1j * 1.0)
+
+    def test_pair_ordering_valence_major(self, rng):
+        psi_v = rng.normal(size=(3, 4)).astype(complex)
+        psi_c = rng.normal(size=(2, 4)).astype(complex)
+        pairs = face_splitting_product(psi_v, psi_c)
+        # pair index = i * n_c + a
+        assert np.allclose(pairs[1 * 2 + 1], psi_v[1].conj() * psi_c[1])
+
+    def test_grid_mismatch(self):
+        with pytest.raises(PhysicsError):
+            face_splitting_product(np.zeros((1, 3)), np.zeros((1, 4)))
+
+    def test_counter(self):
+        c = KernelCounters()
+        face_splitting_product(np.ones((2, 8)), np.ones((3, 8)), c)
+        assert c.flops == 6 * 2 * 3 * 8
+        assert c.calls["face_split"] == 1
+
+
+class TestGemm:
+    def test_matches_numpy(self, rng):
+        a = rng.normal(size=(3, 5)).astype(complex)
+        b = rng.normal(size=(5, 2)).astype(complex)
+        assert np.allclose(gemm(a, b), a @ b, atol=1e-12)
+
+    def test_counter_flops(self, rng):
+        c = KernelCounters()
+        gemm(np.ones((3, 5), dtype=complex), np.ones((5, 2), dtype=complex), c)
+        assert c.flops == 8 * 3 * 2 * 5
+
+    def test_shape_mismatch(self):
+        with pytest.raises(PhysicsError):
+            gemm(np.zeros((2, 3)), np.zeros((4, 2)))
+
+
+class TestSyevd:
+    def test_eigen_decomposition(self, rng):
+        m = rng.normal(size=(6, 6)) + 1j * rng.normal(size=(6, 6))
+        h = m + m.conj().T
+        values, vectors = syevd(h)
+        assert np.all(np.diff(values) >= -1e-12)
+        assert np.allclose(h @ vectors, vectors @ np.diag(values), atol=1e-9)
+
+    def test_rejects_non_hermitian(self, rng):
+        with pytest.raises(PhysicsError):
+            syevd(rng.normal(size=(5, 5)) + 1j * rng.normal(size=(5, 5)))
+
+    def test_rejects_non_square(self):
+        with pytest.raises(PhysicsError):
+            syevd(np.zeros((3, 4)))
+
+    def test_counter(self):
+        c = KernelCounters()
+        syevd(np.eye(8, dtype=complex), c)
+        assert c.flops == 9 * 8**3
+
+
+class TestPointwise:
+    def test_values_and_counter(self, rng):
+        c = KernelCounters()
+        field = rng.normal(size=(2, 6)).astype(complex)
+        mult = rng.normal(size=6)
+        out = pointwise_multiply(field, mult[None, :], c)
+        assert np.allclose(out, field * mult, atol=1e-12)
+        assert c.flops == 6 * 12

@@ -1,0 +1,127 @@
+"""Unit tests for the silicon supercell builder."""
+
+import numpy as np
+import pytest
+
+from repro.dft.lattice import (
+    A_SILICON,
+    ATOMS_PER_CONVENTIONAL_CELL,
+    Crystal,
+    silicon_supercell,
+    supercell_dims,
+)
+from repro.errors import ConfigError
+
+
+class TestSupercellDims:
+    def test_unit(self):
+        assert supercell_dims(1) == (1, 1, 1)
+
+    def test_paper_sizes(self):
+        assert supercell_dims(2) == (2, 1, 1)      # Si_16
+        assert supercell_dims(4) == (2, 2, 1)      # Si_32
+        assert supercell_dims(8) == (2, 2, 2)      # Si_64
+        assert supercell_dims(128) == (8, 4, 4)    # Si_1024
+        assert supercell_dims(256) == (8, 8, 4)    # Si_2048
+
+    def test_product_preserved(self):
+        for n in (1, 2, 3, 5, 6, 12, 30, 100):
+            dims = supercell_dims(n)
+            assert dims[0] * dims[1] * dims[2] == n
+
+    def test_near_cubic_for_cubes(self):
+        assert supercell_dims(27) == (3, 3, 3)
+        assert supercell_dims(64) == (4, 4, 4)
+
+    def test_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            supercell_dims(0)
+
+
+class TestSiliconSupercell:
+    def test_atom_count(self):
+        for n in (8, 16, 64, 128):
+            assert silicon_supercell(n).n_atoms == n
+
+    def test_rejects_non_multiple_of_8(self):
+        for bad in (0, 4, 7, 12, -8):
+            with pytest.raises(ConfigError):
+                silicon_supercell(bad)
+
+    def test_volume_scales_linearly(self):
+        v8 = silicon_supercell(8).volume
+        v64 = silicon_supercell(64).volume
+        assert v64 == pytest.approx(8 * v8, rel=1e-12)
+        assert v8 == pytest.approx(A_SILICON**3, rel=1e-12)
+
+    def test_positions_in_unit_cell(self):
+        cell = silicon_supercell(64)
+        assert np.all(cell.frac_positions >= 0.0)
+        assert np.all(cell.frac_positions < 1.0)
+
+    def test_minimum_interatomic_distance(self):
+        """Nearest-neighbor distance in diamond Si is a*sqrt(3)/4."""
+        cell = silicon_supercell(8)
+        cart = cell.cart_positions
+        expected = A_SILICON * np.sqrt(3.0) / 4.0
+        dmin = np.inf
+        for i in range(len(cart)):
+            for j in range(i + 1, len(cart)):
+                delta = cart[i] - cart[j]
+                # minimum-image convention in the cubic cell
+                frac = np.linalg.solve(cell.lattice.T, delta)
+                frac -= np.round(frac)
+                dmin = min(dmin, np.linalg.norm(frac @ cell.lattice))
+        assert dmin == pytest.approx(expected, rel=1e-9)
+
+    def test_species_default_silicon(self):
+        cell = silicon_supercell(8)
+        assert set(cell.species) == {"Si"}
+        assert len(cell.species) == 8
+
+
+class TestCrystal:
+    def test_reciprocal_duality(self):
+        cell = silicon_supercell(8)
+        product = cell.lattice @ cell.reciprocal.T
+        assert np.allclose(product, 2 * np.pi * np.eye(3), atol=1e-12)
+
+    def test_structure_factor_at_gamma(self):
+        cell = silicon_supercell(16)
+        s = cell.structure_factor(np.zeros((1, 3)))
+        assert s[0] == pytest.approx(cell.n_atoms)
+
+    def test_structure_factor_forbidden_reflection(self):
+        """Diamond (2,0,0)-type reflections are extinct."""
+        cell = silicon_supercell(8)
+        g = np.array([[2, 0, 0]]) @ cell.reciprocal
+        assert abs(cell.structure_factor(g)[0]) < 1e-9
+
+    def test_structure_factor_allowed_reflection(self):
+        """(1,1,1) reflection is allowed in diamond."""
+        cell = silicon_supercell(8)
+        g = np.array([[1, 1, 1]]) @ cell.reciprocal
+        assert abs(cell.structure_factor(g)[0]) > 1.0
+
+    def test_rejects_singular_lattice(self):
+        with pytest.raises(ConfigError):
+            Crystal(lattice=np.zeros((3, 3)), frac_positions=np.zeros((1, 3)))
+
+    def test_rejects_bad_positions_shape(self):
+        with pytest.raises(ConfigError):
+            Crystal(lattice=np.eye(3), frac_positions=np.zeros((3,)))
+
+    def test_rejects_species_mismatch(self):
+        with pytest.raises(ConfigError):
+            Crystal(
+                lattice=np.eye(3),
+                frac_positions=np.zeros((2, 3)),
+                species=("Si",),
+            )
+
+    def test_positions_wrapped(self):
+        cell = Crystal(lattice=np.eye(3), frac_positions=np.array([[1.25, -0.25, 0.5]]))
+        assert np.allclose(cell.frac_positions[0], [0.25, 0.75, 0.5])
+
+    def test_conventional_cell_has_8_atoms(self):
+        assert ATOMS_PER_CONVENTIONAL_CELL == 8

@@ -1,0 +1,88 @@
+"""Integration tests: the end-to-end LR-TDDFT drivers."""
+
+import numpy as np
+import pytest
+
+from repro.dft.lrtddft import run_lrtddft
+from repro.errors import ConfigError
+from repro.units import HARTREE_TO_EV
+
+
+@pytest.fixture(scope="module")
+def serial_result(si8_ground_state):
+    return run_lrtddft(si8_ground_state, n_active_valence=4, n_active_conduction=4)
+
+
+class TestSerial:
+    def test_energy_count(self, serial_result):
+        assert len(serial_result.excitation_energies) == 16
+
+    def test_energies_positive_sorted(self, serial_result):
+        e = serial_result.excitation_energies
+        assert np.all(e > 0)
+        assert np.all(np.diff(e) >= -1e-12)
+
+    def test_lowest_excitation_near_gap(self, serial_result, si8_ground_state):
+        """TDA lowest excitation sits within a few eV of the HOMO-LUMO gap."""
+        gap_ev = si8_ground_state.band_gap * HARTREE_TO_EV
+        lowest = serial_result.lowest_excitation_ev
+        assert 0.3 * gap_ev < lowest < 3.0 * gap_ev
+
+    def test_counters_populated(self, serial_result):
+        assert serial_result.counters.flops > 0
+        assert "syevd" in serial_result.counters.calls
+
+    def test_serial_has_no_comm(self, serial_result):
+        assert serial_result.comm_bytes == 0
+        assert serial_result.comm_bytes_by_op == {}
+
+
+class TestParallel:
+    @pytest.mark.parametrize("n_ranks", [2, 3, 4, 7])
+    def test_matches_serial(self, si8_ground_state, serial_result, n_ranks):
+        parallel = run_lrtddft(
+            si8_ground_state,
+            n_active_valence=4,
+            n_active_conduction=4,
+            n_ranks=n_ranks,
+        )
+        assert np.allclose(
+            parallel.excitation_energies,
+            serial_result.excitation_energies,
+            atol=1e-8,
+        )
+
+    def test_comm_traffic_recorded(self, si8_ground_state):
+        result = run_lrtddft(
+            si8_ground_state, n_active_valence=4, n_active_conduction=4, n_ranks=4
+        )
+        assert result.comm_bytes > 0
+        assert "alltoall" in result.comm_bytes_by_op
+        assert "allreduce" in result.comm_bytes_by_op
+
+    def test_more_ranks_more_traffic(self, si8_ground_state):
+        totals = []
+        for n_ranks in (2, 4, 8):
+            result = run_lrtddft(
+                si8_ground_state,
+                n_active_valence=4,
+                n_active_conduction=4,
+                n_ranks=n_ranks,
+            )
+            totals.append(result.comm_bytes)
+        assert totals[0] < totals[1] < totals[2]
+
+    def test_rejects_bad_rank_count(self, si8_ground_state):
+        with pytest.raises(ConfigError):
+            run_lrtddft(si8_ground_state, n_ranks=0)
+
+    def test_without_correlation(self, si8_ground_state):
+        serial = run_lrtddft(
+            si8_ground_state, 4, 4, n_ranks=1, include_correlation=False
+        )
+        parallel = run_lrtddft(
+            si8_ground_state, 4, 4, n_ranks=3, include_correlation=False
+        )
+        assert np.allclose(
+            serial.excitation_energies, parallel.excitation_energies, atol=1e-8
+        )

@@ -1,0 +1,89 @@
+"""Unit tests for the LDA functional and the adiabatic kernel."""
+
+import numpy as np
+import pytest
+
+from repro.dft import xc
+from repro.errors import PhysicsError
+
+
+def finite_diff(f, rho, h=1e-7):
+    return (f(rho * (1 + h)) - f(rho * (1 - h))) / (2 * rho * h)
+
+
+class TestExchange:
+    def test_energy_density_scaling(self):
+        """eps_x ~ rho^(1/3)."""
+        rho = np.array([0.01, 0.08])
+        ratio = xc.exchange_energy_density(rho[1]) / xc.exchange_energy_density(rho[0])
+        assert ratio == pytest.approx(2.0, rel=1e-12)
+
+    def test_energy_density_negative(self):
+        assert np.all(xc.exchange_energy_density(np.array([0.01, 1.0])) < 0)
+
+    def test_potential_is_derivative(self):
+        rho = np.array([0.005, 0.02, 0.1, 0.5])
+        analytic = xc.exchange_potential(rho)
+        numeric = finite_diff(
+            lambda r: r * xc.exchange_energy_density(r), rho
+        )
+        assert np.allclose(analytic, numeric, rtol=1e-6)
+
+    def test_kernel_is_derivative_of_potential(self):
+        rho = np.array([0.005, 0.02, 0.1, 0.5])
+        analytic = xc.exchange_kernel(rho)
+        numeric = finite_diff(xc.exchange_potential, rho)
+        assert np.allclose(analytic, numeric, rtol=1e-6)
+
+    def test_kernel_negative(self):
+        assert np.all(xc.exchange_kernel(np.array([0.01, 0.1, 1.0])) < 0)
+
+
+class TestCorrelation:
+    def test_energy_negative(self):
+        rho = np.array([1e-3, 0.01, 0.1, 1.0])
+        assert np.all(xc.correlation_energy_density(rho) < 0)
+
+    def test_branches_continuous_at_rs1(self):
+        """PZ81 branches must join continuously at r_s = 1."""
+        rho_at_rs1 = 3.0 / (4.0 * np.pi)  # rs = 1
+        below = xc.correlation_energy_density(np.array([rho_at_rs1 * 0.999]))
+        above = xc.correlation_energy_density(np.array([rho_at_rs1 * 1.001]))
+        assert below[0] == pytest.approx(above[0], rel=1e-3)
+
+    def test_potential_is_derivative(self):
+        rho = np.array([0.01, 0.05, 0.3])
+        analytic = xc.correlation_potential(rho)
+        numeric = finite_diff(
+            lambda r: r * xc.correlation_energy_density(r), rho
+        )
+        assert np.allclose(analytic, numeric, rtol=1e-5)
+
+    def test_known_value_rs2(self):
+        """PZ81 at r_s = 2: eps_c ~= -0.0448 Ha (published value)."""
+        rho = 3.0 / (4.0 * np.pi * 2.0**3)
+        eps = xc.correlation_energy_density(np.array([rho]))[0]
+        assert eps == pytest.approx(-0.0448, abs=0.002)
+
+
+class TestKernel:
+    def test_total_kernel_includes_correlation(self):
+        rho = np.array([0.02, 0.2])
+        with_c = xc.xc_kernel(rho, include_correlation=True)
+        without_c = xc.xc_kernel(rho, include_correlation=False)
+        assert not np.allclose(with_c, without_c)
+
+    def test_kernel_rejects_negative_density(self):
+        with pytest.raises(PhysicsError):
+            xc.xc_kernel(np.array([0.01, -0.5]))
+
+    def test_kernel_finite_at_tiny_density(self):
+        result = xc.xc_kernel(np.array([0.0, 1e-30]))
+        assert np.all(np.isfinite(result))
+
+    def test_potential_composition(self):
+        rho = np.array([0.05, 0.5])
+        assert np.allclose(
+            xc.xc_potential(rho),
+            xc.exchange_potential(rho) + xc.correlation_potential(rho),
+        )

@@ -1,0 +1,91 @@
+"""Sensitivity sweeps and the CLI front end."""
+
+import pytest
+
+from repro.cli import main
+from repro.errors import ConfigError
+from repro.experiments.sensitivity import (
+    format_sweep,
+    sweep_host_link_bandwidth,
+    sweep_mesh_link_bandwidth,
+    sweep_stack_count,
+    sweep_units_per_stack,
+)
+
+
+class TestMeshSweep:
+    @pytest.fixture(scope="class")
+    def points(self):
+        return sweep_mesh_link_bandwidth(256, bandwidths=(12e9, 24e9, 96e9))
+
+    def test_speedup_monotone_in_link_bandwidth(self, points):
+        """Faster mesh links can only help: Global Comm is mesh-limited."""
+        speedups = [p.speedup_vs_cpu for p in points]
+        assert speedups == sorted(speedups)
+
+    def test_diminishing_returns(self, points):
+        """Doubling links from the Table III point buys less than the
+        doubling into it (comm stops being the bottleneck)."""
+        gain_into = points[1].speedup_vs_cpu - points[0].speedup_vs_cpu
+        gain_beyond = points[2].speedup_vs_cpu - points[1].speedup_vs_cpu
+        assert gain_into > 0
+        assert gain_beyond < gain_into * 2  # saturating, not superlinear
+
+    def test_format(self, points):
+        text = format_sweep("mesh sweep", points)
+        assert "speedup" in text and len(text.splitlines()) == 5
+
+
+class TestOtherSweeps:
+    def test_stack_count_scaling(self):
+        points = sweep_stack_count(256, mesh_sides=(2, 4))
+        assert points[1].speedup_vs_cpu > points[0].speedup_vs_cpu
+
+    def test_host_link_reduces_overhead(self):
+        points = sweep_host_link_bandwidth(256, bandwidths=(32e9, 256e9))
+        assert (
+            points[1].scheduling_overhead_pct
+            <= points[0].scheduling_overhead_pct
+        )
+
+    def test_units_sweep_runs_and_keeps_spm_budget(self):
+        points = sweep_units_per_stack(64, unit_counts=(4, 8))
+        assert all(p.speedup_vs_cpu > 0 for p in points)
+
+    def test_validation(self):
+        with pytest.raises(ConfigError):
+            sweep_mesh_link_bandwidth(64, bandwidths=())
+        with pytest.raises(ConfigError):
+            sweep_stack_count(64, mesh_sides=(0,))
+
+
+class TestCli:
+    def test_table1(self, capsys):
+        assert main(["table1"]) == 0
+        out = capsys.readouterr().out
+        assert "NDP in Large system" in out
+
+    def test_fig4(self, capsys):
+        assert main(["fig4"]) == 0
+        assert "ridge point" in capsys.readouterr().out
+
+    def test_fig7_with_atoms(self, capsys):
+        assert main(["fig7", "--atoms", "64"]) == 0
+        out = capsys.readouterr().out
+        assert "Si_64" in out and "TOTAL" in out
+
+    def test_fig8(self, capsys):
+        assert main(["fig8"]) == 0
+        assert "Si_2048" in capsys.readouterr().out
+
+    def test_discussion(self, capsys):
+        assert main(["discussion"]) == 0
+        assert "scheduling overhead" in capsys.readouterr().out
+
+    def test_ablations(self, capsys):
+        assert main(["ablations", "--atoms", "64"]) == 0
+        assert "granularity" in capsys.readouterr().out
+
+    def test_rejects_unknown_artifact(self):
+        with pytest.raises(SystemExit):
+            main(["nonsense"])

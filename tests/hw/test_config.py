@@ -1,0 +1,118 @@
+"""Table III + baseline configurations: every paper-stated value."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.hw.config import (
+    CacheConfig,
+    CpuConfig,
+    cpu_baseline_config,
+    gpu_baseline_config,
+    ndft_system_config,
+)
+from repro.units import GB, GHZ, GiB, KiB, MiB
+
+
+@pytest.fixture(scope="module")
+def system():
+    return ndft_system_config()
+
+
+class TestTable3Host:
+    def test_cores_and_clock(self, system):
+        assert system.host.cores == 8
+        assert system.host.frequency == 3.0 * GHZ
+
+    def test_cache_sizes(self, system):
+        assert system.host.l1_data.capacity == 32 * KiB
+        assert system.host.l2.capacity == 256 * KiB
+        assert system.host.l3.capacity == 2 * MiB
+
+
+class TestTable3Ndp:
+    def test_mesh_shape(self, system):
+        assert (system.ndp.stacks_x, system.ndp.stacks_y) == (4, 4)
+        assert system.ndp.n_stacks == 16
+
+    def test_units_and_cores(self, system):
+        assert system.ndp.units_per_stack == 8
+        assert system.ndp.cores_per_unit == 2
+        assert system.ndp.n_units == 128
+        assert system.ndp.n_cores == 256
+
+    def test_clock_and_caches(self, system):
+        assert system.ndp.frequency == 2.0 * GHZ
+        assert system.ndp.l1_data.capacity == 32 * KiB
+
+    def test_capacity(self, system):
+        assert system.ndp.capacity_per_unit == 512 * MiB
+        assert system.ndp.total_capacity == 64 * GiB
+
+    def test_spm_sizes(self, system):
+        assert system.ndp.spm_per_core == 16 * KiB
+        assert system.ndp.spm_per_stack == 256 * KiB
+        # 16 KB/core x 2 cores x 8 units = 256 KB/stack: consistent.
+        assert (
+            system.ndp.spm_per_core
+            * system.ndp.cores_per_unit
+            * system.ndp.units_per_stack
+            == system.ndp.spm_per_stack
+        )
+
+    def test_hbm_channel_bandwidth(self, system):
+        """8 channels x 128-bit x 1000 MHz DDR = 256 GB/s per stack."""
+        assert system.ndp.channels_per_stack == 8
+        assert system.ndp.bus_width_bits == 128
+        assert system.ndp.stack_internal_bandwidth == pytest.approx(256 * GB)
+        assert system.ndp.aggregate_internal_bandwidth == pytest.approx(
+            16 * 256 * GB
+        )
+
+    def test_unit_bandwidth_share(self, system):
+        assert system.ndp.unit_bandwidth == pytest.approx(32 * GB)
+
+
+class TestBaselines:
+    def test_cpu_baseline_is_dual_xeon(self):
+        cpu = cpu_baseline_config()
+        assert cpu.sockets == 2
+        assert cpu.cores == 12
+        assert cpu.total_cores == 24
+        assert cpu.frequency == 2.4 * GHZ
+        assert cpu.memory_capacity == 64 * GiB
+
+    def test_gpu_baseline_is_dual_v100(self):
+        gpu = gpu_baseline_config()
+        assert gpu.n_gpus == 2
+        assert gpu.peak_flops == pytest.approx(15.6e12)
+        assert gpu.aggregate_memory_bandwidth == pytest.approx(1800 * GB)
+
+    def test_host_weaker_than_baseline_in_cores(self):
+        """The CPU-NDP host (8 cores) is not the 24-core baseline."""
+        system = ndft_system_config()
+        assert system.host.total_cores < cpu_baseline_config().total_cores
+
+
+class TestValidation:
+    def test_cache_rejects_nonpositive(self):
+        with pytest.raises(ConfigError):
+            CacheConfig(capacity=0, latency_cycles=4)
+
+    def test_cpu_rejects_bad_cores(self):
+        with pytest.raises(ConfigError):
+            CpuConfig(
+                name="bad",
+                cores=0,
+                frequency=1 * GHZ,
+                flops_per_cycle=8,
+                l1_data=CacheConfig(32 * KiB, 4),
+                l2=CacheConfig(256 * KiB, 12),
+                l3=CacheConfig(2 * MiB, 40),
+                memory_bandwidth=1 * GB,
+                memory_latency=1e-7,
+                memory_capacity=GiB,
+            )
+
+    def test_ranks_equal_units(self):
+        system = ndft_system_config()
+        assert system.ranks == 128

@@ -1,0 +1,130 @@
+"""DRAM timing and working-set cache models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.hw.cache import CacheHierarchy, TRAFFIC_AT_L1, TRAFFIC_BEYOND
+from repro.hw.config import CacheConfig
+from repro.hw.dram import (
+    DramModel,
+    ddr4_memory,
+    gpu_hbm,
+    hbm2_stack_internal,
+)
+from repro.hw.spm import ScratchpadSpec
+from repro.model import AccessPattern
+from repro.units import GB, KiB, MiB
+
+
+class TestDram:
+    def test_sequential_fastest(self):
+        for factory in (ddr4_memory, lambda: hbm2_stack_internal(256 * GB), lambda: gpu_hbm(900 * GB)):
+            model = factory()
+            seq = model.effective_bandwidth(AccessPattern.SEQUENTIAL)
+            irr = model.effective_bandwidth(AccessPattern.IRREGULAR)
+            assert seq > irr
+
+    def test_access_time_includes_latency(self):
+        model = ddr4_memory()
+        assert model.access_time(0, AccessPattern.SEQUENTIAL) == 0.0
+        tiny = model.access_time(64, AccessPattern.SEQUENTIAL)
+        assert tiny >= model.base_latency
+
+    def test_time_scales_with_bytes(self):
+        model = ddr4_memory()
+        t1 = model.access_time(1 * GB, AccessPattern.SEQUENTIAL)
+        t2 = model.access_time(2 * GB, AccessPattern.SEQUENTIAL)
+        assert t2 > t1
+        assert t2 < 2.1 * t1
+
+    def test_hbm_internal_latency_lower_than_ddr(self):
+        assert hbm2_stack_internal(256 * GB).base_latency < ddr4_memory().base_latency
+
+    def test_rejects_bad_efficiency(self):
+        with pytest.raises(ConfigError):
+            DramModel(
+                name="bad",
+                peak_bandwidth=GB,
+                base_latency=1e-8,
+                pattern_efficiency={p: 1.5 for p in AccessPattern},
+            )
+
+    def test_rejects_missing_pattern(self):
+        with pytest.raises(ConfigError):
+            DramModel(
+                name="bad",
+                peak_bandwidth=GB,
+                base_latency=1e-8,
+                pattern_efficiency={AccessPattern.SEQUENTIAL: 0.8},
+            )
+
+    def test_negative_bytes_rejected(self):
+        with pytest.raises(ConfigError):
+            ddr4_memory().access_time(-1, AccessPattern.SEQUENTIAL)
+
+
+@pytest.fixture(scope="module")
+def hierarchy():
+    return CacheHierarchy(
+        l1=CacheConfig(32 * KiB, 4),
+        l2=CacheConfig(256 * KiB, 12),
+        l3=CacheConfig(30 * MiB, 42),
+    )
+
+
+class TestCache:
+    def test_tiny_working_set_absorbed(self, hierarchy):
+        factor = hierarchy.dram_traffic_factor(16 * KiB, AccessPattern.SEQUENTIAL)
+        assert factor == TRAFFIC_AT_L1
+
+    def test_huge_working_set_streams(self, hierarchy):
+        factor = hierarchy.dram_traffic_factor(10 * 1024 * MiB, AccessPattern.SEQUENTIAL)
+        assert factor == TRAFFIC_BEYOND
+
+    def test_irregular_gets_no_relief(self, hierarchy):
+        assert (
+            hierarchy.dram_traffic_factor(16 * KiB, AccessPattern.IRREGULAR)
+            == TRAFFIC_BEYOND
+        )
+
+    def test_rejects_non_monotone_levels(self):
+        with pytest.raises(ConfigError):
+            CacheHierarchy(
+                l1=CacheConfig(256 * KiB, 4),
+                l2=CacheConfig(32 * KiB, 12),
+                l3=CacheConfig(30 * MiB, 42),
+            )
+
+    def test_load_latency_by_level(self, hierarchy):
+        freq = 3e9
+        l1 = hierarchy.load_latency(8 * KiB, freq)
+        l2 = hierarchy.load_latency(128 * KiB, freq)
+        l3 = hierarchy.load_latency(8 * MiB, freq)
+        assert l1 < l2 < l3
+
+    @given(ws=st.floats(1, 1e12), seed=st.integers(0, 3))
+    @settings(max_examples=60, deadline=None)
+    def test_factor_bounded_and_monotone(self, hierarchy, ws, seed):
+        pattern = list(AccessPattern)[seed]
+        factor = hierarchy.dram_traffic_factor(ws, pattern)
+        assert TRAFFIC_AT_L1 <= factor <= TRAFFIC_BEYOND
+        bigger = hierarchy.dram_traffic_factor(ws * 2, pattern)
+        assert bigger >= factor - 1e-12
+
+
+class TestSpm:
+    def test_access_time(self):
+        spm = ScratchpadSpec(capacity=256 * KiB)
+        assert spm.access_time(0) == 0.0
+        assert spm.access_time(1024) > spm.latency
+
+    def test_rejects_bad_capacity(self):
+        with pytest.raises(ConfigError):
+            ScratchpadSpec(capacity=0)
+
+    def test_faster_than_dram(self):
+        spm = ScratchpadSpec(capacity=256 * KiB)
+        dram = ddr4_memory()
+        assert spm.access_time(4096) < dram.access_time(4096, AccessPattern.SEQUENTIAL)

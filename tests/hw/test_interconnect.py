@@ -1,0 +1,90 @@
+"""Mesh network and host-link models."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import ConfigError
+from repro.hw.interconnect import HostLink, MeshNetwork
+from repro.units import GB
+
+
+@pytest.fixture(scope="module")
+def mesh():
+    return MeshNetwork(stacks_x=4, stacks_y=4, link_bandwidth=24 * GB, hop_latency=40e-9)
+
+
+class TestMesh:
+    def test_coordinates_roundtrip(self, mesh):
+        for stack in range(16):
+            x, y = mesh.coordinates(stack)
+            assert 0 <= x < 4 and 0 <= y < 4
+            assert y * 4 + x == stack
+
+    def test_hops_xy_routing(self, mesh):
+        assert mesh.hops(0, 0) == 0
+        assert mesh.hops(0, 3) == 3      # same row
+        assert mesh.hops(0, 15) == 6     # opposite corner
+        assert mesh.hops(5, 6) == 1
+
+    def test_hops_symmetric(self, mesh):
+        for a in range(16):
+            for b in range(16):
+                assert mesh.hops(a, b) == mesh.hops(b, a)
+
+    def test_average_hops_4x4(self, mesh):
+        """Known value: mean Manhattan distance on 4x4 grid = 8/3."""
+        assert mesh.average_hops == pytest.approx(8.0 / 3.0)
+
+    def test_bisection_bandwidth(self, mesh):
+        assert mesh.bisection_bandwidth == 4 * 24 * GB
+
+    def test_point_to_point(self, mesh):
+        local = mesh.point_to_point_time(1024, 3, 3)
+        assert local == 0.0
+        one_hop = mesh.point_to_point_time(24 * GB, 0, 1)
+        assert one_hop == pytest.approx(40e-9 + 1.0)
+
+    def test_alltoall_halves_cross_bisection(self, mesh):
+        nbytes = 192 * GB  # = 2 x bisection
+        t = mesh.alltoall_time(nbytes)
+        assert t == pytest.approx(1.0, rel=1e-3)
+
+    def test_alltoall_zero(self, mesh):
+        assert mesh.alltoall_time(0) == 0.0
+
+    def test_single_stack_free(self):
+        lone = MeshNetwork(1, 1, 24 * GB, 40e-9)
+        assert lone.alltoall_time(1 * GB) == 0.0
+        assert lone.average_hops == 0.0
+
+    def test_stack_id_range_check(self, mesh):
+        with pytest.raises(ConfigError):
+            mesh.hops(0, 16)
+
+    @given(
+        x=st.integers(1, 5), y=st.integers(1, 5),
+        a=st.integers(0, 24), b=st.integers(0, 24),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_hops_triangle_inequality(self, x, y, a, b):
+        mesh = MeshNetwork(x, y, 1 * GB, 1e-9)
+        n = x * y
+        a, b = a % n, b % n
+        for c in range(n):
+            assert mesh.hops(a, b) <= mesh.hops(a, c) + mesh.hops(c, b)
+
+
+class TestHostLink:
+    def test_transfer_time(self):
+        link = HostLink(bandwidth=64 * GB)
+        assert link.transfer_time(0) == 0.0
+        assert link.transfer_time(64 * GB) == pytest.approx(1.0, abs=1e-6)
+
+    def test_latency_floor(self):
+        link = HostLink(bandwidth=64 * GB, base_latency=1e-6)
+        assert link.transfer_time(1) >= 1e-6
+
+    def test_rejects_bad_bandwidth(self):
+        with pytest.raises(ConfigError):
+            HostLink(bandwidth=0)

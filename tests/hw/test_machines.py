@@ -1,0 +1,177 @@
+"""Machine timing models: CPU, NDP system, GPU."""
+
+import pytest
+
+from repro.dft.workload import problem_size, stage_workloads
+from repro.hw.timing import PhaseTime
+from repro.model import AccessPattern, KernelWorkload, PhaseName
+
+
+def make_workload(**overrides):
+    defaults = dict(
+        name="test",
+        flops=1e10,
+        bytes_read=5e8,
+        bytes_written=5e8,
+        working_set=1e9,
+        access_pattern=AccessPattern.SEQUENTIAL,
+        parallel_tasks=1024,
+    )
+    defaults.update(overrides)
+    return KernelWorkload(**defaults)
+
+
+class TestPhaseTime:
+    def test_total_defaults_to_overlap_rule(self):
+        t = PhaseTime("x", compute_time=2.0, memory_time=3.0, overhead_time=0.5)
+        assert t.total == 3.5
+        assert t.bound == "memory"
+
+    def test_plus_overhead(self):
+        t = PhaseTime("x", 1.0, 0.5).plus_overhead(0.25)
+        assert t.total == pytest.approx(1.25)
+
+
+class TestCpuModel:
+    def test_memory_bound_kernel(self, cpu_model):
+        w = make_workload(flops=1e6)  # essentially no compute
+        t = cpu_model.execute(w)
+        assert t.bound == "memory"
+        assert t.memory_time > 0
+
+    def test_compute_bound_kernel(self, cpu_model):
+        w = make_workload(
+            flops=1e12, bytes_read=1e6, bytes_written=1e6,
+            working_set=1e5, access_pattern=AccessPattern.BLOCKED,
+        )
+        t = cpu_model.execute(w)
+        assert t.bound == "compute"
+
+    def test_cache_reduces_traffic(self, cpu_model):
+        streaming = make_workload(working_set=10e9)
+        resident = make_workload(working_set=1e5)
+        assert cpu_model.dram_traffic(resident) < cpu_model.dram_traffic(streaming)
+
+    def test_utilization_limits_throughput(self, cpu_model):
+        narrow = make_workload(parallel_tasks=1, flops=1e12)
+        wide = make_workload(parallel_tasks=1000, flops=1e12)
+        assert cpu_model.execute(narrow).compute_time > cpu_model.execute(wide).compute_time
+
+    def test_comm_charged_as_memcpy(self, cpu_model):
+        w = make_workload(
+            flops=0, comm_bytes=1e9, access_pattern=AccessPattern.IRREGULAR
+        )
+        t = cpu_model.execute(w)
+        from repro.hw.cpu import MEMCPY_EFFICIENCY, MEMCPY_PASSES
+
+        expected = 1e9 * MEMCPY_PASSES / (
+            cpu_model.memory.peak_bandwidth * MEMCPY_EFFICIENCY
+        )
+        assert t.memory_time == pytest.approx(expected)
+
+    def test_ridge_point_order_of_magnitude(self, cpu_model):
+        assert 5.0 < cpu_model.ridge_point() < 12.0
+
+
+class TestNdpModel:
+    def test_aggregate_bandwidth_advantage(self, ndp_model, cpu_model):
+        """The NDP side must beat the CPU on a big streaming kernel —
+        the premise of the whole paper."""
+        w = make_workload(
+            flops=1e9, bytes_read=2e11, bytes_written=2e11,
+            parallel_tasks=4096, working_set=1e9,
+        )
+        assert ndp_model.execute(w).total < cpu_model.execute(w).total / 5
+
+    def test_small_kernels_underutilize(self, ndp_model):
+        small = make_workload(bytes_read=1e7, bytes_written=1e7, flops=1e6)
+        assert ndp_model.unit_utilization(small) < 0.3
+
+    def test_large_kernels_utilize(self, ndp_model):
+        big = make_workload(
+            bytes_read=1e11, bytes_written=1e11, parallel_tasks=12800
+        )
+        assert ndp_model.unit_utilization(big) > 0.9
+
+    def test_blocked_compute_weak(self, ndp_model, host_model):
+        """Wimpy in-order cores lose GEMM to the host CPU (the paper's
+        placement rationale)."""
+        problem = problem_size(1024)
+        gemm = stage_workloads(problem)[PhaseName.GEMM]
+        assert ndp_model.execute(gemm).total > host_model.execute(gemm).total
+
+    def test_comm_rides_mesh(self, ndp_model):
+        w = make_workload(flops=0, comm_bytes=1e10, access_pattern=AccessPattern.IRREGULAR)
+        t = ndp_model.execute(w)
+        assert t.transfer_time > 0
+
+    def test_validate_spm_consistency(self, ndp_model):
+        ndp_model.validate()  # must not raise
+
+
+class TestGpuModel:
+    def test_resident_phase_pays_staging(self, gpu_model):
+        w = make_workload(footprint=1e9)
+        t = gpu_model.execute(w)
+        assert t.overhead_time > gpu_model.config.kernel_launch_overhead
+
+    def test_oversized_dataset_streams(self, gpu_model):
+        w = make_workload(
+            bytes_read=3e11, bytes_written=3e11, footprint=6e10,
+        )
+        t = gpu_model.execute(w)
+        assert not gpu_model.dataset_fits(w)
+        assert t.transfer_time > 0
+
+    def test_comm_phase_charges_links_not_dataset(self, gpu_model):
+        w = make_workload(flops=0, comm_bytes=1e10, footprint=1e10)
+        t = gpu_model.execute(w)
+        nvlink = gpu_model.config.nvlink_bandwidth
+        pcie = gpu_model.config.aggregate_pcie_bandwidth
+        expected = (5e9 / nvlink + 5e9 / pcie) * 0.5
+        assert t.transfer_time == pytest.approx(expected)
+
+    def test_blocked_efficiency_grows_with_volume(self, gpu_model):
+        small = make_workload(
+            flops=1e9, access_pattern=AccessPattern.BLOCKED
+        )
+        large = make_workload(
+            flops=1e14, access_pattern=AccessPattern.BLOCKED
+        )
+        assert gpu_model.compute_efficiency(small) < gpu_model.compute_efficiency(large)
+
+    def test_bandwidth_ramp_only_for_streams(self, gpu_model):
+        short_stream = make_workload(bytes_read=1e7, bytes_written=1e7)
+        blocked = make_workload(
+            bytes_read=1e7, bytes_written=1e7,
+            access_pattern=AccessPattern.BLOCKED,
+        )
+        assert gpu_model.bandwidth_ramp(short_stream) < 0.1
+        assert gpu_model.bandwidth_ramp(blocked) == 1.0
+
+
+class TestRooflineModel:
+    def test_ridge_and_classification(self):
+        from repro.hw.roofline import RooflineModel
+
+        roofline = RooflineModel(name="m", peak_flops=1e12, peak_bandwidth=1e11)
+        assert roofline.ridge_point == pytest.approx(10.0)
+        assert roofline.classify(1.0) == "memory"
+        assert roofline.classify(100.0) == "compute"
+
+    def test_attainable_ceilings(self):
+        from repro.hw.roofline import RooflineModel
+
+        roofline = RooflineModel(name="m", peak_flops=1e12, peak_bandwidth=1e11)
+        assert roofline.attainable(1.0) == pytest.approx(1e11)
+        assert roofline.attainable(1000.0) == pytest.approx(1e12)
+
+    def test_analyze_with_measured_time(self):
+        from repro.hw.roofline import RooflineModel
+
+        roofline = RooflineModel(name="m", peak_flops=1e12, peak_bandwidth=1e11)
+        w = make_workload(flops=1e10, bytes_read=1e10, bytes_written=0)
+        point = roofline.analyze(w, measured_time=1.0)
+        assert point.attained_flops == pytest.approx(1e10)
+        assert point.bound == "memory"
+        assert 0 < point.efficiency <= 1.0

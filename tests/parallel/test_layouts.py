@@ -1,0 +1,103 @@
+"""Unit + property tests for data layouts and transposes."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CommunicationError
+from repro.parallel.layouts import (
+    block_partition,
+    grid_to_pairs_layout,
+    pairs_to_grid_layout,
+    partition_sizes,
+)
+from repro.parallel.mpi import SimCommunicator
+
+
+class TestPartition:
+    def test_sizes_balanced(self):
+        assert partition_sizes(10, 3) == [4, 3, 3]
+        assert partition_sizes(9, 3) == [3, 3, 3]
+        assert partition_sizes(2, 4) == [1, 1, 0, 0]
+
+    def test_slices_cover_range(self):
+        slices = block_partition(17, 5)
+        covered = []
+        for s in slices:
+            covered.extend(range(s.start, s.stop))
+        assert covered == list(range(17))
+
+    def test_rejects_bad_input(self):
+        with pytest.raises(CommunicationError):
+            partition_sizes(5, 0)
+        with pytest.raises(CommunicationError):
+            partition_sizes(-1, 2)
+
+    @given(n=st.integers(0, 200), parts=st.integers(1, 16))
+    @settings(max_examples=50, deadline=None)
+    def test_partition_properties(self, n, parts):
+        sizes = partition_sizes(n, parts)
+        assert sum(sizes) == n
+        assert max(sizes) - min(sizes) <= 1
+
+
+class TestTransposes:
+    def _full_matrix(self, n_pairs, n_grid, rng):
+        return rng.normal(size=(n_pairs, n_grid)) + 1j * rng.normal(
+            size=(n_pairs, n_grid)
+        )
+
+    def test_pairs_to_grid_semantics(self, rng):
+        comm = SimCommunicator(3)
+        full = self._full_matrix(7, 11, rng)
+        pair_slices = block_partition(7, 3)
+        local_pairs = [full[s, :] for s in pair_slices]
+        grid_blocks = pairs_to_grid_layout(comm, local_pairs)
+        grid_slices = block_partition(11, 3)
+        for rank in range(3):
+            assert np.allclose(grid_blocks[rank], full[:, grid_slices[rank]])
+
+    def test_roundtrip_restores_layout(self, rng):
+        comm = SimCommunicator(4)
+        full = self._full_matrix(10, 13, rng)
+        pair_slices = block_partition(10, 4)
+        local_pairs = [full[s, :] for s in pair_slices]
+        grid_blocks = pairs_to_grid_layout(comm, local_pairs)
+        back = grid_to_pairs_layout(
+            comm, grid_blocks, [s.stop - s.start for s in pair_slices]
+        )
+        for rank in range(4):
+            assert np.allclose(back[rank], local_pairs[rank], atol=1e-12)
+
+    def test_rank_count_validation(self, rng):
+        comm = SimCommunicator(2)
+        with pytest.raises(CommunicationError):
+            pairs_to_grid_layout(comm, [np.zeros((1, 4))])
+
+    def test_width_mismatch(self):
+        comm = SimCommunicator(2)
+        with pytest.raises(CommunicationError):
+            pairs_to_grid_layout(comm, [np.zeros((1, 4)), np.zeros((1, 5))])
+
+    @given(
+        n_pairs=st.integers(1, 12),
+        n_grid=st.integers(1, 20),
+        ranks=st.integers(1, 5),
+        seed=st.integers(0, 999),
+    )
+    @settings(max_examples=30, deadline=None)
+    def test_roundtrip_property(self, n_pairs, n_grid, ranks, seed):
+        rng = np.random.default_rng(seed)
+        comm = SimCommunicator(ranks)
+        full = rng.normal(size=(n_pairs, n_grid))
+        pair_slices = block_partition(n_pairs, ranks)
+        local = [full[s, :] for s in pair_slices]
+        back = grid_to_pairs_layout(
+            comm,
+            pairs_to_grid_layout(comm, local),
+            [s.stop - s.start for s in pair_slices],
+        )
+        reassembled = np.concatenate([b for b in back if b.size], axis=0)
+        if n_pairs:
+            assert np.allclose(reassembled, full, atol=1e-12)

@@ -1,0 +1,141 @@
+"""Unit + property tests for the simulated MPI collectives."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import CommunicationError
+from repro.parallel.mpi import SimCommunicator
+
+
+def make_alltoall_payload(size, rng, width=3):
+    return [
+        [rng.normal(size=width) for _dst in range(size)] for _src in range(size)
+    ]
+
+
+class TestAlltoall:
+    def test_transposition_semantics(self, rng):
+        comm = SimCommunicator(3)
+        send = make_alltoall_payload(3, rng)
+        recv = comm.alltoall(send)
+        for src in range(3):
+            for dst in range(3):
+                assert np.array_equal(recv[dst][src], send[src][dst])
+
+    def test_self_sends_free(self, rng):
+        comm = SimCommunicator(2)
+        send = [
+            [np.zeros(10), np.zeros(0)],
+            [np.zeros(0), np.zeros(10)],
+        ]
+        comm.alltoall(send)
+        assert comm.total_bytes == 0
+
+    def test_byte_accounting(self):
+        comm = SimCommunicator(2)
+        send = [[np.zeros(4), np.ones(4)], [np.ones(4), np.zeros(4)]]
+        comm.alltoall(send)
+        # two off-diagonal float64 buffers of 4 elements
+        assert comm.total_bytes == 2 * 4 * 8
+
+    def test_rejects_wrong_rank_count(self):
+        comm = SimCommunicator(3)
+        with pytest.raises(CommunicationError):
+            comm.alltoall([[np.zeros(1)] * 3] * 2)
+        with pytest.raises(CommunicationError):
+            comm.alltoall([[np.zeros(1)] * 2] * 3)
+
+
+class TestAllreduce:
+    def test_sum_semantics(self, rng):
+        comm = SimCommunicator(4)
+        values = [rng.normal(size=(2, 3)) for _ in range(4)]
+        results = comm.allreduce(values)
+        expected = sum(values)
+        for result in results:
+            assert np.allclose(result, expected, atol=1e-12)
+
+    def test_results_independent_copies(self):
+        comm = SimCommunicator(2)
+        results = comm.allreduce([np.ones(3), np.ones(3)])
+        results[0][0] = 99
+        assert results[1][0] == 2.0
+
+    def test_shape_mismatch(self):
+        comm = SimCommunicator(2)
+        with pytest.raises(CommunicationError):
+            comm.allreduce([np.zeros(2), np.zeros(3)])
+
+    def test_ring_traffic_model(self):
+        comm = SimCommunicator(4)
+        comm.allreduce([np.zeros(128)] * 4)
+        payload = 128 * 8
+        per_rank = 2 * payload * 3 // 4
+        assert comm.log[-1].bytes_moved == per_rank * 4
+
+
+class TestOtherCollectives:
+    def test_allgather(self, rng):
+        comm = SimCommunicator(3)
+        values = [rng.normal(size=2) for _ in range(3)]
+        gathered = comm.allgather(values)
+        for rank in range(3):
+            for src in range(3):
+                assert np.array_equal(gathered[rank][src], values[src])
+
+    def test_bcast(self):
+        comm = SimCommunicator(3)
+        results = comm.bcast(np.arange(5), root=1)
+        assert all(np.array_equal(r, np.arange(5)) for r in results)
+        assert comm.total_bytes == 2 * 5 * 8
+
+    def test_bcast_bad_root(self):
+        with pytest.raises(CommunicationError):
+            SimCommunicator(2).bcast(np.zeros(1), root=5)
+
+    def test_scatter(self):
+        comm = SimCommunicator(2)
+        out = comm.scatter([np.zeros(2), np.ones(2)], root=0)
+        assert np.array_equal(out[1], np.ones(2))
+
+    def test_size_validation(self):
+        with pytest.raises(CommunicationError):
+            SimCommunicator(0)
+
+    def test_bytes_by_op(self, rng):
+        comm = SimCommunicator(2)
+        comm.bcast(np.zeros(4))
+        comm.allreduce([np.zeros(4)] * 2)
+        by_op = comm.bytes_by_op()
+        assert set(by_op) == {"bcast", "allreduce"}
+
+
+class TestProperties:
+    @given(size=st.integers(2, 6), seed=st.integers(0, 2**16))
+    @settings(max_examples=25, deadline=None)
+    def test_alltoall_involution(self, size, seed):
+        """alltoall applied twice restores the original send matrix."""
+        rng = np.random.default_rng(seed)
+        comm = SimCommunicator(size)
+        send = make_alltoall_payload(size, rng)
+        twice = comm.alltoall(comm.alltoall(send))
+        for i in range(size):
+            for j in range(size):
+                assert np.array_equal(twice[i][j], send[i][j])
+
+    @given(size=st.integers(1, 6), elements=st.integers(0, 50))
+    @settings(max_examples=25, deadline=None)
+    def test_alltoall_conserves_bytes(self, size, elements):
+        """Total payload (incl. self-sends) is conserved by transposition."""
+        rng = np.random.default_rng(elements)
+        comm = SimCommunicator(size)
+        send = [
+            [rng.normal(size=elements) for _ in range(size)]
+            for _ in range(size)
+        ]
+        recv = comm.alltoall(send)
+        sent = sum(b.nbytes for row in send for b in row)
+        received = sum(b.nbytes for row in recv for b in row)
+        assert sent == received

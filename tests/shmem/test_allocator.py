@@ -1,0 +1,123 @@
+"""First-fit SPM allocator: unit + property-based invariant tests."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.errors import AllocationError, OutOfMemoryError
+from repro.shmem.allocator import SpmAllocator
+
+
+class TestBasics:
+    def test_fresh_allocator_all_free(self):
+        alloc = SpmAllocator(capacity=1024)
+        assert alloc.free_bytes == 1024
+        assert alloc.allocated_bytes == 0
+        alloc.check_invariants()
+
+    def test_allocate_and_free_roundtrip(self):
+        alloc = SpmAllocator(capacity=1024)
+        offset = alloc.allocate(100)
+        assert alloc.allocated_bytes == 104  # rounded to alignment
+        alloc.free(offset)
+        assert alloc.free_bytes == 1024
+        assert alloc.largest_free_region == 1024  # coalesced
+
+    def test_alignment(self):
+        alloc = SpmAllocator(capacity=1024, alignment=64)
+        a = alloc.allocate(1)
+        b = alloc.allocate(1)
+        assert a % 64 == 0 and b % 64 == 0
+        assert b - a == 64
+
+    def test_oom_raises_with_details(self):
+        alloc = SpmAllocator(capacity=256)
+        alloc.allocate(200)
+        with pytest.raises(OutOfMemoryError) as exc:
+            alloc.allocate(100)
+        assert exc.value.requested >= 100
+        assert exc.value.available <= 56
+
+    def test_double_free_rejected(self):
+        alloc = SpmAllocator(capacity=256)
+        offset = alloc.allocate(10)
+        alloc.free(offset)
+        with pytest.raises(AllocationError):
+            alloc.free(offset)
+
+    def test_zero_allocation_rejected(self):
+        with pytest.raises(AllocationError):
+            SpmAllocator(capacity=256).allocate(0)
+
+    def test_bad_alignment_rejected(self):
+        with pytest.raises(AllocationError):
+            SpmAllocator(capacity=256, alignment=3)
+
+    def test_coalescing_middle_region(self):
+        alloc = SpmAllocator(capacity=320)
+        a = alloc.allocate(100)
+        b = alloc.allocate(100)
+        c = alloc.allocate(96)
+        alloc.free(a)
+        alloc.free(c)
+        assert alloc.fragmentation() > 0.0
+        alloc.free(b)  # merges everything
+        assert alloc.largest_free_region == 320
+        assert alloc.fragmentation() == 0.0
+
+    def test_reuse_after_free(self):
+        alloc = SpmAllocator(capacity=128)
+        offset = alloc.allocate(128)
+        alloc.free(offset)
+        assert alloc.allocate(128) == offset
+
+
+class StateMachine:
+    """Helper for the property test: mirrors allocations in a dict."""
+
+    def __init__(self, capacity):
+        self.alloc = SpmAllocator(capacity=capacity)
+        self.live: list[int] = []
+
+
+@given(
+    capacity=st.integers(256, 8192),
+    ops=st.lists(
+        st.tuples(st.booleans(), st.integers(1, 900)), min_size=1, max_size=60
+    ),
+)
+@settings(max_examples=60, deadline=None)
+def test_invariants_under_random_workload(capacity, ops):
+    """Conservation + no-overlap hold under arbitrary alloc/free sequences."""
+    state = StateMachine(capacity)
+    for is_alloc, size in ops:
+        if is_alloc or not state.live:
+            try:
+                offset = state.alloc.allocate(size)
+                state.live.append(offset)
+            except OutOfMemoryError:
+                pass
+        else:
+            victim = state.live.pop(size % len(state.live))
+            state.alloc.free(victim)
+        state.alloc.check_invariants()
+        assert (
+            state.alloc.free_bytes + state.alloc.allocated_bytes
+            == capacity
+        )
+
+
+@given(sizes=st.lists(st.integers(1, 200), min_size=1, max_size=30))
+@settings(max_examples=40, deadline=None)
+def test_free_all_restores_capacity(sizes):
+    alloc = SpmAllocator(capacity=16384)
+    offsets = []
+    for size in sizes:
+        try:
+            offsets.append(alloc.allocate(size))
+        except OutOfMemoryError:
+            break
+    for offset in offsets:
+        alloc.free(offset)
+    assert alloc.free_bytes == 16384
+    assert alloc.largest_free_region == 16384

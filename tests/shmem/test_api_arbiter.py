@@ -1,0 +1,145 @@
+"""The NDFT_* shared-memory APIs (Table II) and the hierarchical arbiters."""
+
+import numpy as np
+import pytest
+
+from repro.errors import AllocationError, CommunicationError
+from repro.hw.interconnect import MeshNetwork
+from repro.shmem.api import NdftSharedMemory
+from repro.shmem.arbiter import CommArbiter, HierarchicalComm
+from repro.units import MiB
+from tests.shmem.test_shared_block import make_block
+
+
+@pytest.fixture
+def runtime():
+    return NdftSharedMemory(
+        n_stacks=4, units_per_stack=2, capacity_per_stack=8 * MiB
+    )
+
+
+class TestAllocShared:
+    def test_alloc_returns_descriptor_in_callers_stack(self, runtime):
+        block = runtime.alloc_shared(make_block(atom_index=0), unit_id=5)
+        assert block.stack_id == runtime.stack_of(5) == 2
+
+    def test_alloc_registers_in_callers_table(self, runtime):
+        block = runtime.alloc_shared(make_block(atom_index=1), unit_id=0)
+        assert runtime.table_of(0).lookup(1) is block
+
+    def test_payload_stored_once_per_stack(self, runtime):
+        runtime.alloc_shared(make_block(atom_index=0), unit_id=0)
+        runtime.alloc_shared(make_block(atom_index=1), unit_id=2)
+        per_stack = runtime.shared_bytes_by_stack()
+        assert per_stack[0] > 0 and per_stack[1] > 0
+        assert per_stack[2] == per_stack[3] == 0
+
+
+class TestReadWrite:
+    def test_read_roundtrip(self, runtime):
+        original = make_block(atom_index=0, seed=3)
+        block = runtime.alloc_shared(original, unit_id=0)
+        restored = runtime.read(block, unit_id=1)  # same stack (units 0,1)
+        assert np.allclose(restored.projectors, original.projectors)
+
+    def test_read_wrong_stack_rejected(self, runtime):
+        block = runtime.alloc_shared(make_block(), unit_id=0)
+        with pytest.raises(CommunicationError):
+            runtime.read(block, unit_id=7)
+
+    def test_write_updates_payload(self, runtime):
+        block = runtime.alloc_shared(make_block(seed=1), unit_id=0)
+        replacement = make_block(seed=2)
+        runtime.write(block, replacement, unit_id=0)
+        restored = runtime.read(block, unit_id=0)
+        assert np.allclose(restored.projectors, replacement.projectors)
+
+    def test_write_size_mismatch_rejected(self, runtime):
+        block = runtime.alloc_shared(make_block(n_pw=16), unit_id=0)
+        with pytest.raises(AllocationError):
+            runtime.write(block, make_block(n_pw=32), unit_id=0)
+
+
+class TestRemote:
+    def test_read_remote_returns_data(self, runtime):
+        original = make_block(seed=9)
+        block = runtime.alloc_shared(original, unit_id=0)
+        restored = runtime.read_remote(block, unit_id=7)  # stack 3
+        assert np.allclose(restored.projectors, original.projectors)
+        assert runtime.comm.inter_stack_bytes == block.length
+
+    def test_second_remote_read_filtered(self, runtime):
+        block = runtime.alloc_shared(make_block(), unit_id=0)
+        runtime.read_remote(block, unit_id=7)
+        before = runtime.comm.inter_stack_bytes
+        runtime.read_remote(block, unit_id=6)  # same stack 3: staged copy
+        assert runtime.comm.inter_stack_bytes == before
+        assert runtime.comm.filtered_requests == 1
+
+    def test_write_remote_invalidates_staged_copies(self, runtime):
+        block = runtime.alloc_shared(make_block(seed=1), unit_id=0)
+        runtime.read_remote(block, unit_id=7)      # stages in stack 3
+        replacement = make_block(seed=2)
+        runtime.write_remote(block, replacement, unit_id=7)
+        # A fresh remote read must fetch the new payload over the mesh.
+        before = runtime.comm.inter_stack_bytes
+        restored = runtime.read_remote(block, unit_id=5)  # stack 2
+        assert runtime.comm.inter_stack_bytes > before
+        assert np.allclose(restored.projectors, replacement.projectors)
+
+    def test_broadcast_registers_everywhere(self, runtime):
+        block = runtime.alloc_shared(make_block(atom_index=4), unit_id=0)
+        runtime.broadcast(block)
+        for unit in range(runtime.n_units):
+            assert runtime.table_of(unit).lookup(4) is block
+
+
+class TestTopology:
+    def test_unit_range_checked(self, runtime):
+        with pytest.raises(CommunicationError):
+            runtime.stack_of(99)
+
+    def test_non_square_needs_explicit_mesh(self):
+        with pytest.raises(CommunicationError):
+            NdftSharedMemory(n_stacks=6, units_per_stack=2, capacity_per_stack=MiB)
+        explicit = NdftSharedMemory(
+            n_stacks=6,
+            units_per_stack=2,
+            capacity_per_stack=MiB,
+            mesh=MeshNetwork(3, 2, 24e9, 40e-9),
+        )
+        assert explicit.n_units == 12
+
+
+class TestArbiters:
+    def test_intra_stack_free(self):
+        comm = HierarchicalComm(mesh=MeshNetwork(2, 2, 24e9, 40e-9))
+        t = comm.transfer(block_id=0, nbytes=1024, src_stack=1, dst_stack=1)
+        assert t == 0.0
+        assert comm.intra_stack_bytes == 1024
+        assert comm.inter_stack_bytes == 0
+
+    def test_inter_stack_charged_once(self):
+        comm = HierarchicalComm(mesh=MeshNetwork(2, 2, 24e9, 40e-9))
+        t1 = comm.transfer(0, 4096, src_stack=0, dst_stack=3)
+        t2 = comm.transfer(0, 4096, src_stack=0, dst_stack=3)
+        assert t1 > 0 and t2 == 0.0
+        assert comm.inter_stack_bytes == 4096
+        assert comm.filtered_requests == 1
+
+    def test_locality_fraction(self):
+        comm = HierarchicalComm(mesh=MeshNetwork(2, 2, 24e9, 40e-9))
+        comm.transfer(0, 100, 0, 0)
+        comm.transfer(1, 100, 0, 1)
+        assert comm.locality_fraction() == pytest.approx(0.5)
+
+    def test_arbiter_counters(self):
+        arbiter = CommArbiter(stack_id=0)
+        arbiter.record_request(2048)
+        assert arbiter.requests_served == 1
+        assert arbiter.bytes_forwarded == 2048
+
+    def test_rejects_bad_transfer(self):
+        comm = HierarchicalComm(mesh=MeshNetwork(2, 2, 24e9, 40e-9))
+        with pytest.raises(CommunicationError):
+            comm.transfer(0, 0, 0, 1)

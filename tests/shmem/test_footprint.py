@@ -1,0 +1,88 @@
+"""Table I footprint model and the §VI-A derived quantities."""
+
+import pytest
+
+from repro.errors import ConfigError
+from repro.shmem.footprint import (
+    CPU_RANKS,
+    NDP_RANKS,
+    footprint_ndft,
+    footprint_replicated,
+    ndft_reduction_percent,
+    ndft_vs_cpu_ratio,
+    table1_rows,
+)
+
+
+class TestTable1Exact:
+    """The model is calibrated on these four numbers; they must hold to
+    rounding precision."""
+
+    def test_ndp_small(self):
+        assert footprint_replicated(64, NDP_RANKS) == pytest.approx(4.43, abs=0.01)
+
+    def test_cpu_small(self):
+        assert footprint_replicated(64, CPU_RANKS) == pytest.approx(1.84, abs=0.01)
+
+    def test_ndp_large(self):
+        assert footprint_replicated(1024, NDP_RANKS) == pytest.approx(35.3, abs=0.05)
+
+    def test_cpu_large(self):
+        assert footprint_replicated(1024, CPU_RANKS) == pytest.approx(13.8, abs=0.05)
+
+    def test_percentages(self):
+        rows = {r.label: r for r in table1_rows()}
+        assert rows["NDP in Small system"].percent_of_memory == pytest.approx(6.92, abs=0.05)
+        assert rows["CPU in Small system"].percent_of_memory == pytest.approx(2.88, abs=0.05)
+        assert rows["NDP in Large system"].percent_of_memory == pytest.approx(55.15, abs=0.1)
+        assert rows["CPU in Large system"].percent_of_memory == pytest.approx(21.56, abs=0.1)
+
+    def test_paper_ratios(self):
+        """§III-B: NDP footprint 140.2% / 155.7% above CPU."""
+        small = footprint_replicated(64, NDP_RANKS) / footprint_replicated(64, CPU_RANKS)
+        large = footprint_replicated(1024, NDP_RANKS) / footprint_replicated(1024, CPU_RANKS)
+        assert 100 * (small - 1) == pytest.approx(140.2, abs=2.0)
+        assert 100 * (large - 1) == pytest.approx(155.7, abs=2.0)
+
+
+class TestNdftOptimization:
+    def test_reduction_matches_paper(self):
+        """§VI-A: 57.8 % reduction in the large system."""
+        assert ndft_reduction_percent(1024) == pytest.approx(57.8, abs=0.3)
+
+    def test_vs_cpu_matches_paper(self):
+        """§VI-A: within 1.08x of CPU execution."""
+        assert ndft_vs_cpu_ratio(1024) == pytest.approx(1.08, abs=0.01)
+
+    def test_ndft_always_below_replicated(self):
+        for n_atoms in (16, 64, 256, 1024, 2048):
+            assert footprint_ndft(n_atoms) < footprint_replicated(n_atoms, NDP_RANKS)
+
+
+class TestOom:
+    def test_si2048_replicated_ooms(self):
+        """§III-B: the per-process approach causes OOM on complex systems;
+        with 64 GB, Si_2048 replicated on 128 ranks does not fit."""
+        assert footprint_replicated(2048, NDP_RANKS) > 64.0
+
+    def test_si2048_ndft_fits(self):
+        assert footprint_ndft(2048) < 64.0
+
+    def test_report_flags_oom(self):
+        rows = table1_rows(small_atoms=64, large_atoms=2048)
+        ndp_large = next(r for r in rows if r.label == "NDP in Large system")
+        assert ndp_large.oom
+
+
+class TestValidation:
+    def test_rejects_bad_args(self):
+        with pytest.raises(ConfigError):
+            footprint_replicated(0, 8)
+        with pytest.raises(ConfigError):
+            footprint_replicated(8, 0)
+        with pytest.raises(ConfigError):
+            footprint_ndft(8, 8, 0)
+
+    def test_monotone_in_atoms_and_ranks(self):
+        assert footprint_replicated(128, 24) > footprint_replicated(64, 24)
+        assert footprint_replicated(64, 48) > footprint_replicated(64, 24)

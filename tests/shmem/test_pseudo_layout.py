@@ -1,0 +1,86 @@
+"""Replicated vs shared-block pseudopotential layouts (Algorithm 1)."""
+
+import numpy as np
+import pytest
+
+from repro.dft.pseudopotential import build_projectors
+from repro.errors import ConfigError
+from repro.shmem.api import NdftSharedMemory
+from repro.shmem.pseudo_layout import ReplicatedLayout, SharedBlockLayout
+from repro.units import MiB
+
+
+@pytest.fixture(scope="module")
+def blocks(si8_cell, si8_basis):
+    return tuple(build_projectors(si8_cell, si8_basis))
+
+
+@pytest.fixture
+def runtime():
+    return NdftSharedMemory(
+        n_stacks=4, units_per_stack=2, capacity_per_stack=64 * MiB
+    )
+
+
+@pytest.fixture(scope="module")
+def psi(si8_basis, rng):
+    return rng.normal(size=(5, si8_basis.n_pw)) + 1j * rng.normal(
+        size=(5, si8_basis.n_pw)
+    )
+
+
+class TestReplicated:
+    def test_memory_scales_with_ranks(self, blocks):
+        r4 = ReplicatedLayout(blocks=blocks, n_ranks=4)
+        r8 = ReplicatedLayout(blocks=blocks, n_ranks=8)
+        assert r8.total_bytes == 2 * r4.total_bytes
+        assert r4.bytes_per_rank == r8.bytes_per_rank
+
+    def test_apply_identical_on_all_ranks(self, blocks, psi):
+        layout = ReplicatedLayout(blocks=blocks, n_ranks=3)
+        results = [layout.apply(psi, rank=r) for r in range(3)]
+        assert np.allclose(results[0], results[1])
+        assert np.allclose(results[1], results[2])
+
+    def test_rank_range(self, blocks, psi):
+        layout = ReplicatedLayout(blocks=blocks, n_ranks=2)
+        with pytest.raises(ConfigError):
+            layout.apply(psi, rank=2)
+
+
+class TestSharedBlock:
+    def test_functional_equivalence(self, blocks, runtime, psi):
+        """Algorithm 1 must not change the physics: bit-identical update."""
+        replicated = ReplicatedLayout(blocks=blocks, n_ranks=runtime.n_units)
+        shared = SharedBlockLayout(blocks=blocks, runtime=runtime)
+        for rank in (0, 3, 7):
+            assert np.allclose(
+                shared.apply(psi, rank=rank),
+                replicated.apply(psi, rank=0),
+                atol=1e-12,
+            )
+
+    def test_memory_reduction(self, blocks, runtime):
+        replicated = ReplicatedLayout(blocks=blocks, n_ranks=runtime.n_units)
+        shared = SharedBlockLayout(blocks=blocks, runtime=runtime)
+        assert shared.total_bytes < replicated.total_bytes / 2
+
+    def test_per_rank_footprint_owned_plus_index(self, blocks, runtime):
+        shared = SharedBlockLayout(blocks=blocks, runtime=runtime)
+        total_owned = sum(
+            shared.bytes_per_rank(r) for r in range(shared.n_ranks)
+        )
+        # Each payload counted once + every rank's index table.
+        payload = sum(b.nbytes for b in blocks)
+        assert total_owned > payload
+
+    def test_remote_traffic_filtered_on_reuse(self, blocks, runtime, psi):
+        shared = SharedBlockLayout(blocks=blocks, runtime=runtime)
+        shared.apply(psi, rank=0)
+        first = runtime.comm.inter_stack_bytes
+        shared.apply(psi, rank=0)
+        assert runtime.comm.inter_stack_bytes == first  # all staged
+
+    def test_empty_blocks_rejected(self, runtime):
+        with pytest.raises(ConfigError):
+            SharedBlockLayout(blocks=(), runtime=runtime)

@@ -1,0 +1,95 @@
+"""Shared-block pack/unpack and the per-rank index table."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.dft.pseudopotential import AtomPseudoBlock
+from repro.errors import AllocationError
+from repro.shmem.shared_block import (
+    SharedBlock,
+    SharedBlockTable,
+    pack_atom_block,
+    unpack_atom_block,
+)
+
+
+def make_block(atom_index=0, n_proj=4, n_pw=16, seed=0):
+    rng = np.random.default_rng(seed)
+    return AtomPseudoBlock(
+        atom_index=atom_index,
+        pw_index=np.arange(n_pw, dtype=np.int64),
+        projectors_re=rng.normal(size=(n_proj, n_pw)),
+        projectors_im=rng.normal(size=(n_proj, n_pw)),
+        coupling=rng.normal(size=n_proj),
+    )
+
+
+class TestPackUnpack:
+    def test_roundtrip_exact(self):
+        block = make_block(atom_index=7)
+        restored = unpack_atom_block(pack_atom_block(block))
+        assert restored.atom_index == 7
+        assert np.array_equal(restored.pw_index, block.pw_index)
+        assert np.array_equal(restored.projectors_re, block.projectors_re)
+        assert np.array_equal(restored.projectors_im, block.projectors_im)
+        assert np.array_equal(restored.coupling, block.coupling)
+
+    def test_rejects_truncated_buffer(self):
+        buffer = pack_atom_block(make_block())
+        with pytest.raises(AllocationError):
+            unpack_atom_block(buffer[:-1])
+
+    def test_rejects_tiny_buffer(self):
+        with pytest.raises(AllocationError):
+            unpack_atom_block(np.zeros(2))
+
+    @given(
+        n_proj=st.integers(1, 6),
+        n_pw=st.integers(1, 64),
+        seed=st.integers(0, 1000),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_roundtrip_property(self, n_proj, n_pw, seed):
+        block = make_block(atom_index=seed % 100, n_proj=n_proj, n_pw=n_pw, seed=seed)
+        restored = unpack_atom_block(pack_atom_block(block))
+        assert np.allclose(restored.projectors, block.projectors)
+
+
+class TestDescriptor:
+    def test_rejects_bad_length(self):
+        with pytest.raises(AllocationError):
+            SharedBlock(block_id=0, atom_index=0, stack_id=0, offset=0, length=0)
+
+    def test_descriptor_is_small(self):
+        block = SharedBlock(block_id=0, atom_index=0, stack_id=0, offset=0, length=4096)
+        assert block.descriptor_bytes == 40
+
+
+class TestTable:
+    def test_register_and_lookup(self):
+        table = SharedBlockTable()
+        block = SharedBlock(block_id=1, atom_index=3, stack_id=0, offset=0, length=64)
+        table.register(block)
+        assert table.lookup(3) is block
+        assert len(table) == 1
+
+    def test_duplicate_rejected(self):
+        table = SharedBlockTable()
+        block = SharedBlock(block_id=1, atom_index=3, stack_id=0, offset=0, length=64)
+        table.register(block)
+        with pytest.raises(AllocationError):
+            table.register(block)
+
+    def test_missing_lookup(self):
+        with pytest.raises(AllocationError):
+            SharedBlockTable().lookup(5)
+
+    def test_index_bytes(self):
+        table = SharedBlockTable()
+        for atom in range(10):
+            table.register(
+                SharedBlock(block_id=atom, atom_index=atom, stack_id=0, offset=atom * 64, length=64)
+            )
+        assert table.index_bytes == 10 * 40

@@ -1,0 +1,100 @@
+"""Top-level helpers: units, errors, the KernelWorkload descriptor."""
+
+import pytest
+
+from repro import errors, units
+from repro.model import AccessPattern, KernelWorkload, PhaseName
+
+
+class TestUnits:
+    def test_prefixes(self):
+        assert units.GiB == 2**30
+        assert units.GB == 10**9
+        assert units.GHZ == 1e9
+
+    def test_format_bytes(self):
+        assert units.format_bytes(512) == "512 B"
+        assert units.format_bytes(16 * units.GiB) == "16.00 GiB"
+        with pytest.raises(ValueError):
+            units.format_bytes(-1)
+
+    def test_format_seconds(self):
+        assert units.format_seconds(2.5) == "2.500 s"
+        assert units.format_seconds(3e-5) == "30.00 us"
+        assert units.format_seconds(2e-3) == "2.00 ms"
+        with pytest.raises(ValueError):
+            units.format_seconds(-1)
+
+    def test_format_rate(self):
+        assert units.format_rate(3.84e11) == "384.0 GFLOP/s"
+        assert units.format_rate(15.6e12) == "15.60 TFLOP/s"
+
+    def test_physics_conversions(self):
+        assert units.HARTREE_TO_EV == pytest.approx(27.2114, abs=1e-3)
+        assert units.BOHR_TO_ANGSTROM * units.ANGSTROM_TO_BOHR == pytest.approx(1.0)
+
+
+class TestErrors:
+    def test_hierarchy(self):
+        for exc in (
+            errors.ConfigError,
+            errors.OutOfMemoryError,
+            errors.AllocationError,
+            errors.SchedulingError,
+            errors.CommunicationError,
+            errors.SimulationError,
+            errors.PhysicsError,
+        ):
+            assert issubclass(exc, errors.ReproError)
+
+    def test_oom_carries_sizes(self):
+        exc = errors.OutOfMemoryError("no", requested=100, available=50)
+        assert exc.requested == 100
+        assert exc.available == 50
+
+
+class TestKernelWorkload:
+    def test_arithmetic_intensity(self):
+        w = KernelWorkload(name="x", flops=100, bytes_read=30, bytes_written=20)
+        assert w.arithmetic_intensity == pytest.approx(2.0)
+
+    def test_zero_traffic_infinite_intensity(self):
+        w = KernelWorkload(name="x", flops=100, bytes_read=0, bytes_written=0)
+        assert w.arithmetic_intensity == float("inf")
+
+    def test_dataset_falls_back_to_traffic(self):
+        w = KernelWorkload(name="x", flops=1, bytes_read=10, bytes_written=10)
+        assert w.dataset_bytes == 20
+        w2 = KernelWorkload(
+            name="x", flops=1, bytes_read=10, bytes_written=10, footprint=7
+        )
+        assert w2.dataset_bytes == 7
+
+    def test_scaled(self):
+        w = KernelWorkload(
+            name="x", flops=100, bytes_read=50, bytes_written=50,
+            comm_bytes=10, parallel_tasks=8,
+        )
+        half = w.scaled(0.5)
+        assert half.flops == 50
+        assert half.comm_bytes == 5
+        assert half.parallel_tasks == 4
+        assert half.working_set == w.working_set  # per-task property
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            KernelWorkload(name="x", flops=-1, bytes_read=0, bytes_written=0)
+        with pytest.raises(ValueError):
+            KernelWorkload(
+                name="x", flops=0, bytes_read=0, bytes_written=0, parallel_tasks=0
+            )
+        with pytest.raises(ValueError):
+            KernelWorkload(name="x", flops=0, bytes_read=0, bytes_written=0).scaled(-1)
+
+    def test_phase_names_cover_fig7(self):
+        assert {p.value for p in PhaseName} == {
+            "face_split", "fft", "global_comm", "gemm", "syevd", "pseudopotential",
+        }
+
+    def test_access_patterns(self):
+        assert len(AccessPattern) == 4
