@@ -1,0 +1,18 @@
+"""Bench: batched serving on the shared CPU-NDP machine (extension)."""
+
+from benchmarks.conftest import print_once
+from repro.experiments.batch_throughput import (
+    DEFAULT_BATCH_SIZES,
+    format_batch,
+    run_batch_study,
+)
+
+
+def test_batch_throughput(benchmark, framework):
+    study = benchmark(run_batch_study, DEFAULT_BATCH_SIZES, framework)
+    print_once("batch", format_batch(study))
+    # Sharing the machine must beat running the jobs back to back: the
+    # cost-aware placement leaves each device idle part of the time, and
+    # the batch executor fills those holes with other jobs' stages.
+    assert study.batching_speedup > 1.0
+    assert study.makespan < study.serial_time

@@ -1,0 +1,66 @@
+"""Serving scenario: a mixed batch of DFT jobs on one shared machine.
+
+Submits several Si_N jobs of different sizes to the framework at once.
+Each job is scheduled by the cost-aware offloader, then all jobs execute
+concurrently through one shared DES engine: while the large job's dense
+algebra holds the host CPU, the small jobs' memory-bound phases stream on
+the NDP side, so the batch finishes well before the back-to-back sum.
+
+A second section shows intra-job parallelism: the k-point pipeline splits
+the face-split/FFT section into independent branches the scheduler can
+spread across devices.
+
+Run:  python examples/batch_service.py [n_atoms ...]
+"""
+
+import sys
+
+from repro import NdftFramework
+from repro.core.pipeline import build_kpoint_pipeline
+from repro.core.scheduler import Placement
+from repro.dft.workload import problem_size
+
+sizes = [int(arg) for arg in sys.argv[1:]] or [64, 64, 512, 1024]
+framework = NdftFramework()
+
+print(f"=== batched serving: {len(sizes)} concurrent jobs ===")
+batch = framework.run_many(sizes)
+print(f"{'job':<10s} {'solo (s)':>10s} {'in-batch (s)':>13s} {'devices':>16s}")
+for job, solo in zip(batch.jobs, batch.solo_times):
+    devices = "+".join(sorted(str(p) for p in job.schedule.placements_used))
+    print(
+        f"{job.problem.label:<10s} {solo:10.4f} "
+        f"{job.report.total_time:13.4f} {devices:>16s}"
+    )
+print(
+    f"\nserial (back to back): {batch.serial_time:10.4f} s"
+    f"\nbatch makespan:        {batch.makespan:10.4f} s"
+    f"\nbatching speedup:      {batch.batching_speedup:10.2f}x"
+    f"\nthroughput:            {batch.throughput:10.2f} jobs/s"
+)
+
+n_atoms = sizes[-1]
+print(f"\n=== k-point DAG, Si_{n_atoms}: branch placements ===")
+pipeline = build_kpoint_pipeline(problem_size(n_atoms), n_kpoints=2)
+result = framework.run(pipeline=pipeline)
+for name in pipeline.topological_order:
+    print(f"  {name:<22s} -> {result.schedule.assignments[name]}")
+print(
+    f"cost-aware: makespan {result.total_time:.4f} s vs serialized "
+    f"{result.report.serial_time:.4f} s"
+)
+
+# The work-conserving scheduler keeps both k-point branches on the NDP
+# (splitting adds transfers without removing work).  Hand-splitting them
+# shows what the DAG executor does when branches *do* land on different
+# devices: the shorter branch disappears into the longer one's shadow.
+split = dict(result.schedule.assignments)
+split["face_split[k1]"] = split["fft[k1]"] = Placement.CPU
+overlap = framework.executor.execute(
+    pipeline, framework.scheduler.evaluate(pipeline, split)
+)
+print(
+    f"hand-split: makespan {overlap.total_time:.4f} s vs serialized "
+    f"{overlap.serial_time:.4f} s "
+    f"({overlap.serial_time - overlap.total_time:.4f} s hidden by overlap)"
+)

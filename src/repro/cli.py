@@ -9,6 +9,7 @@ Regenerates any of the paper's artifacts from a shell:
     python -m repro discussion
     python -m repro ablations
     python -m repro sensitivity   # design-space sweeps (extension)
+    python -m repro batch --atoms 64 64 512 1024   # batched serving (extension)
     python -m repro all           # everything, in paper order
 """
 
@@ -129,6 +130,17 @@ def _sensitivity(args, _framework) -> str:
     )
 
 
+def _batch(args, framework) -> str:
+    from repro.experiments.batch_throughput import (
+        DEFAULT_BATCH_SIZES,
+        format_batch,
+        run_batch_study,
+    )
+
+    sizes = tuple(args.atoms) if args.atoms else DEFAULT_BATCH_SIZES
+    return format_batch(run_batch_study(sizes, framework))
+
+
 _COMMANDS = {
     "fig4": _fig4,
     "table1": _table1,
@@ -137,6 +149,7 @@ _COMMANDS = {
     "discussion": _discussion,
     "ablations": _ablations,
     "sensitivity": _sensitivity,
+    "batch": _batch,
 }
 
 
@@ -154,7 +167,11 @@ def main(argv: list[str] | None = None) -> int:
         "--atoms",
         type=int,
         nargs="*",
-        help="system size(s) for fig7/ablations/sensitivity",
+        help=(
+            "system size(s) for fig7/ablations/sensitivity; for batch, the "
+            "full job mix to serve concurrently (repeats allowed, e.g. "
+            "--atoms 64 64 512 1024)"
+        ),
     )
     args = parser.parse_args(argv)
 

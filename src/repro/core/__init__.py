@@ -6,28 +6,43 @@
 - :mod:`repro.core.cost_model` — Eq. 1: scheduling overhead as the sum of
   data-transfer (DT) and context-switch (CXT) costs over placement
   boundaries.
-- :mod:`repro.core.scheduler` — the cost-aware offloader, plus the naive /
-  all-CPU / all-NDP policies used as ablations, at four offload
+- :mod:`repro.core.scheduler` — the cost-aware offloader over a pluggable
+  target registry (CPU, NDP, GPU, ...), solved by an exact topological
+  DP with exhaustive enumeration retained as the test oracle; plus the
+  naive / all-CPU / all-NDP ablation policies at four offload
   granularities (instruction, basic block, function, kernel).
-- :mod:`repro.core.pipeline` — the LR-TDDFT stage graph with data edges.
-- :mod:`repro.core.executor` — maps a schedule onto the machine models via
-  the discrete-event engine.
-- :mod:`repro.core.framework` — the end-to-end NDFT driver.
+- :mod:`repro.core.pipeline` — validated stage DAGs with data edges: the
+  paper's LR-TDDFT chain plus branching (k-point) variants.
+- :mod:`repro.core.executor` — maps schedules onto the machine models via
+  the discrete-event engine: DAG-aware waits, branch overlap on distinct
+  devices, and batched multi-job execution on one shared machine.
+- :mod:`repro.core.framework` — the end-to-end NDFT driver (single jobs
+  and concurrent batches).
 - :mod:`repro.core.baselines` — CPU-only and GPU execution models.
 """
 
 from repro.core.ir import CodeSegment, KernelFunction
 from repro.core.sca import ScaReport, StaticCodeAnalyzer
 from repro.core.cost_model import OffloadCostModel
-from repro.core.pipeline import Pipeline, Stage, build_pipeline
+from repro.core.pipeline import (
+    Edge,
+    Pipeline,
+    Stage,
+    build_kpoint_pipeline,
+    build_pipeline,
+)
 from repro.core.scheduler import (
     Placement,
     Schedule,
     SchedulingPolicy,
     CostAwareScheduler,
 )
-from repro.core.executor import ExecutionReport, PipelineExecutor
-from repro.core.framework import NdftFramework, NdftRunResult
+from repro.core.executor import (
+    BatchExecutionReport,
+    ExecutionReport,
+    PipelineExecutor,
+)
+from repro.core.framework import NdftBatchResult, NdftFramework, NdftRunResult
 from repro.core.baselines import run_cpu_baseline, run_gpu_baseline
 
 __all__ = [
@@ -36,15 +51,19 @@ __all__ = [
     "ScaReport",
     "StaticCodeAnalyzer",
     "OffloadCostModel",
+    "Edge",
     "Pipeline",
     "Stage",
     "build_pipeline",
+    "build_kpoint_pipeline",
     "Placement",
     "Schedule",
     "SchedulingPolicy",
     "CostAwareScheduler",
+    "BatchExecutionReport",
     "ExecutionReport",
     "PipelineExecutor",
+    "NdftBatchResult",
     "NdftFramework",
     "NdftRunResult",
     "run_cpu_baseline",

@@ -61,5 +61,5 @@ def run_gpu_baseline(
         phase_times=phase_times,
         scheduling_overhead=0.0,
         total_time=sum(phase_seconds.values()),
-        assignments={name: Placement.CPU for name in phase_seconds},
+        assignments={name: Placement.GPU for name in phase_seconds},
     )

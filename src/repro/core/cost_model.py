@@ -1,43 +1,73 @@
 """The offload cost model — the paper's Eq. 1.
 
-    Scheduling Overhead = sum over CPU<->NDP boundaries of (DT(i, j) + CXT)
+    Scheduling Overhead = sum over placement boundaries of (DT(i, j) + CXT)
 
 DT(i, j) is the data-transfer time for the bytes live across a placement
-boundary (served by the host link); CXT is the constant context-switch
-cost of synchronizing execution state between the two kinds of units.
-The scheduler charges this overhead for every edge of the stage graph
-whose endpoints run on different sides, and NDFT's reported "scheduling
-overhead" (3.8 % / 4.9 % of runtime, §VI-A) is exactly this sum.
+boundary; CXT is the constant context-switch cost of synchronizing
+execution state between the two kinds of units.  The scheduler charges
+this overhead for every edge of the stage graph whose endpoints run on
+different targets, and NDFT's reported "scheduling overhead" (3.8 % /
+4.9 % of runtime, §VI-A) is exactly this sum over the CPU<->NDP link.
+
+With more than two targets the boundaries are no longer all served by
+the same wire: ``device_links`` maps an unordered placement pair to the
+link that physically carries it (e.g. CPU<->GPU over PCIe, NDP<->GPU
+over CXL *and* PCIe in series).  Pairs without an entry fall back to
+``host_link``, which keeps the paper's two-sided numbers untouched.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
+from typing import Iterable, Mapping
 
 from repro.errors import ConfigError
 from repro.hw.interconnect import HostLink
 
+#: An unordered pair of placement names, e.g. frozenset({"cpu", "gpu"}).
+DevicePair = frozenset
+
+
+def serial_links(first: HostLink, second: HostLink) -> HostLink:
+    """The effective link of two wires traversed back to back: latencies
+    add, bandwidth is the harmonic combination (each byte pays both)."""
+    return HostLink(
+        bandwidth=1.0 / (1.0 / first.bandwidth + 1.0 / second.bandwidth),
+        base_latency=first.base_latency + second.base_latency,
+    )
+
 
 @dataclass(frozen=True)
 class OffloadCostModel:
-    """DT + CXT accounting over a host link."""
+    """DT + CXT accounting over the inter-device links."""
 
     host_link: HostLink
     context_switch: float  # seconds per boundary crossing (CXT)
+    #: Per device-pair links; missing pairs use ``host_link``.
+    device_links: Mapping[DevicePair, HostLink] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.context_switch < 0:
             raise ConfigError("context switch cost must be non-negative")
 
-    def data_transfer_time(self, nbytes: float) -> float:
-        """DT(i, j) for one boundary carrying ``nbytes``."""
-        return self.host_link.transfer_time(nbytes)
+    def link_for(self, pair: Iterable | None = None) -> HostLink:
+        """The link serving a boundary between the two given placements
+        (any iterable of placements/strings; order irrelevant)."""
+        if pair is None:
+            return self.host_link
+        key = frozenset(str(p) for p in pair)
+        return self.device_links.get(key, self.host_link)
 
-    def boundary_cost(self, nbytes: float) -> float:
+    def data_transfer_time(self, nbytes: float, pair: Iterable | None = None) -> float:
+        """DT(i, j) for one boundary carrying ``nbytes``."""
+        return self.link_for(pair).transfer_time(nbytes)
+
+    def boundary_cost(self, nbytes: float, pair: Iterable | None = None) -> float:
         """DT + CXT for one placement boundary."""
-        return self.data_transfer_time(nbytes) + self.context_switch
+        return self.data_transfer_time(nbytes, pair) + self.context_switch
 
     def schedule_overhead(self, crossing_edges: list[float]) -> float:
-        """Eq. 1: total overhead for a set of boundary-crossing edges,
-        given as the byte counts crossing each boundary."""
+        """Eq. 1: total overhead for a set of boundary-crossing edges on
+        the default host link, given as the byte counts crossing each
+        boundary."""
         return sum(self.boundary_cost(nbytes) for nbytes in crossing_edges)

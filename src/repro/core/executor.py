@@ -1,31 +1,64 @@
-"""Pipeline executor: maps a schedule onto the machine models via the DES.
+"""Pipeline executor: maps schedules onto the machine models via the DES.
 
 The executor turns a :class:`~repro.core.scheduler.Schedule` into a
-discrete-event simulation: one process per stage that (1) waits for its
-predecessor, (2) waits for any cross-boundary transfer of its inputs over
-the host link, (3) occupies its assigned device for the stage's modeled
-duration.  Devices and the host link are engine resources, so concurrent
-transfers serialize exactly as they would on the real link.
+discrete-event simulation: one process per stage that (1) waits for *all*
+of its DAG predecessors, (2) pays any cross-boundary transfer of its
+inputs over the link serving that device pair (one transfer per crossing
+in-edge; the CPU<->NDP host link by default, per-pair wires when the
+cost model defines them), (3) occupies its assigned device for the
+stage's modeled duration.  Devices and links are engine resources, so
+independent branches placed on distinct devices genuinely overlap while
+stages contending for the same device — or concurrent transfers
+contending for the same wire — serialize exactly as they would on the
+real hardware.
 
-The output :class:`ExecutionReport` is the Fig. 7 data: per-phase seconds
-plus the scheduling overhead bucket.
+Two entry points:
+
+- :meth:`PipelineExecutor.execute` — one job, one engine; on the paper's
+  linear chain this reproduces the original serialized totals exactly
+  (the Fig. 7 data).
+- :meth:`PipelineExecutor.execute_many` — a batch of jobs through one
+  shared engine and one shared set of device/link resources: the batching
+  back-end of :meth:`repro.core.framework.NdftFramework.run_many`.
+
+An ``observer`` callback (``lane, label, start, end``) receives every
+occupancy interval — device lanes are named after the placement
+(``"cpu"``/``"ndp"``/``"gpu"``), transfers land on one lane per physical
+wire (``"link:cpu-ndp"``, ``"link:cpu-gpu"``, ...) — which is how
+:mod:`repro.core.trace` rebuilds exact Gantt timelines without a second
+timing model.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import Callable, Sequence
 
 from repro.core.cost_model import OffloadCostModel
 from repro.core.pipeline import Pipeline
 from repro.core.scheduler import Placement, Schedule
 from repro.errors import SimulationError
-from repro.hw.engine import Engine
+from repro.hw.engine import Engine, Resource, SimProcess
 from repro.hw.timing import PhaseTime
+
+#: Trace callback: (lane, label, start_seconds, end_seconds).
+TraceObserver = Callable[[str, str, float, float], None]
+
+#: Prefix of every trace lane carrying boundary transfers; each physical
+#: wire gets its own lane ("link:cpu-ndp", "link:cpu-gpu", ...) because
+#: distinct wires legitimately carry transfers concurrently.
+LINK_LANE_PREFIX = "link"
 
 
 @dataclass(frozen=True)
 class ExecutionReport:
-    """Result of executing one pipeline under one schedule."""
+    """Result of executing one pipeline under one schedule.
+
+    ``total_time`` is the DES makespan: for a chain it equals the sum of
+    phase times plus the scheduling overhead; for a branching DAG it can
+    be smaller (branch overlap), and for a job inside a batch it includes
+    any time spent queueing for shared devices.
+    """
 
     phase_seconds: dict[str, float]
     phase_times: dict[str, PhaseTime]
@@ -39,6 +72,11 @@ class ExecutionReport:
             return 0.0
         return self.scheduling_overhead / self.total_time
 
+    @property
+    def serial_time(self) -> float:
+        """The no-overlap bound: every stage back to back plus overhead."""
+        return sum(self.phase_seconds.values()) + self.scheduling_overhead
+
     def breakdown(self) -> dict[str, float]:
         """Per-phase seconds plus a 'scheduling' bucket (Fig. 7 bars)."""
         out = dict(self.phase_seconds)
@@ -46,29 +84,152 @@ class ExecutionReport:
         return out
 
 
+@dataclass(frozen=True)
+class BatchExecutionReport:
+    """Result of executing a batch of jobs on one shared machine."""
+
+    job_reports: tuple[ExecutionReport, ...]
+    makespan: float
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.job_reports)
+
+    @property
+    def throughput(self) -> float:
+        """Jobs per second of shared-machine time."""
+        if self.makespan == 0:
+            return 0.0
+        return self.n_jobs / self.makespan
+
+    @property
+    def no_overlap_time(self) -> float:
+        """The fully-serialized bound: every stage of every job back to
+        back.  For branching jobs this exceeds what solo DES runs achieve
+        (they already overlap branches) — use
+        :attr:`repro.core.framework.NdftBatchResult.serial_time` for the
+        achievable one-job-at-a-time baseline."""
+        return sum(report.serial_time for report in self.job_reports)
+
+
 @dataclass
 class PipelineExecutor:
-    """Runs a scheduled pipeline through the discrete-event engine."""
+    """Runs scheduled pipelines through the discrete-event engine."""
 
     cost_model: OffloadCostModel
 
-    def execute(self, pipeline: Pipeline, schedule: Schedule) -> ExecutionReport:
+    # ------------------------------------------------------------------
+    # Single job
+    # ------------------------------------------------------------------
+    def execute(
+        self,
+        pipeline: Pipeline,
+        schedule: Schedule,
+        observer: TraceObserver | None = None,
+    ) -> ExecutionReport:
         engine = Engine()
-        cpu_resource = engine.resource(1, "cpu")
-        ndp_resource = engine.resource(1, "ndp")
-        link_resource = engine.resource(1, "host-link")
-        resources = {Placement.CPU: cpu_resource, Placement.NDP: ndp_resource}
+        devices = self._device_resources(engine, [schedule])
+        links: dict[frozenset, Resource] = {}
+        processes, overhead_total = self._spawn_job(
+            engine, devices, links, pipeline, schedule, observer
+        )
+        engine.run()
+        return self._job_report(
+            pipeline, schedule, overhead_total, self._finish_time(processes)
+        )
 
-        stage_order = pipeline.stage_names
-        processes: dict[str, object] = {}
+    # ------------------------------------------------------------------
+    # Batched jobs on one shared machine
+    # ------------------------------------------------------------------
+    def execute_many(
+        self,
+        jobs: Sequence[tuple[Pipeline, Schedule]],
+        observer: TraceObserver | None = None,
+    ) -> BatchExecutionReport:
+        """Execute every (pipeline, schedule) job concurrently on one
+        shared set of devices.  Jobs are all released at t=0; the DES
+        arbitrates device and link contention between them."""
+        if not jobs:
+            raise SimulationError("execute_many needs at least one job")
+        engine = Engine()
+        devices = self._device_resources(
+            engine, [schedule for _pipeline, schedule in jobs]
+        )
+        links: dict[frozenset, Resource] = {}
+        spawned = []
+        for index, (pipeline, schedule) in enumerate(jobs):
+            processes, overhead_total = self._spawn_job(
+                engine,
+                devices,
+                links,
+                pipeline,
+                schedule,
+                observer,
+                label_prefix=f"job{index}:",
+            )
+            spawned.append((pipeline, schedule, processes, overhead_total))
+        makespan = engine.run()
+        job_reports = tuple(
+            self._job_report(
+                pipeline, schedule, overhead_total, self._finish_time(processes)
+            )
+            for pipeline, schedule, processes, overhead_total in spawned
+        )
+        return BatchExecutionReport(job_reports=job_reports, makespan=makespan)
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _device_resources(
+        engine: Engine, schedules: Sequence[Schedule]
+    ) -> dict[Placement, Resource]:
+        placements = sorted(
+            {p for schedule in schedules for p in schedule.assignments.values()},
+            key=lambda p: p.value,
+        )
+        return {p: engine.resource(1, str(p)) for p in placements}
+
+    def _spawn_job(
+        self,
+        engine: Engine,
+        devices: dict[Placement, Resource],
+        links: dict[frozenset, Resource],
+        pipeline: Pipeline,
+        schedule: Schedule,
+        observer: TraceObserver | None,
+        label_prefix: str = "",
+    ) -> tuple[dict[str, SimProcess], float]:
+        """Spawn one process per stage (in topological order, so every
+        predecessor process exists before its dependents) and return the
+        processes plus the job's total Eq. 1 overhead.
+
+        ``links`` maps each device pair to its capacity-1 wire resource
+        (created on first use and shared across every job in the engine),
+        so CPU<->NDP and CPU<->GPU transfers ride distinct wires while
+        transfers on the same wire serialize.
+        """
+        # Boundary transfers per crossing in-edge, in pipeline.edges order
+        # so the float summation matches the scheduler's exactly.
+        transfers: dict[str, list[tuple[str, Resource, float]]] = {
+            name: [] for name in pipeline.stage_names
+        }
         overhead_total = 0.0
-
-        # Pre-compute boundary transfer costs per stage (inputs that cross).
-        transfer_in: dict[str, float] = {name: 0.0 for name in stage_order}
         for edge in pipeline.edges:
-            if schedule.assignments[edge.src] is not schedule.assignments[edge.dst]:
-                transfer_in[edge.dst] += self.cost_model.boundary_cost(edge.nbytes)
-        overhead_total = sum(transfer_in.values())
+            src_placement = schedule.assignments[edge.src]
+            dst_placement = schedule.assignments[edge.dst]
+            if src_placement is not dst_placement:
+                pair = frozenset((src_placement, dst_placement))
+                if pair not in links:
+                    wire_name = "link:" + "-".join(sorted(p.value for p in pair))
+                    links[pair] = engine.resource(1, wire_name)
+                cost = self.cost_model.boundary_cost(
+                    edge.nbytes, (src_placement, dst_placement)
+                )
+                transfers[edge.dst].append(
+                    (f"{edge.src}->{edge.dst}", links[pair], cost)
+                )
+                overhead_total += cost
         expected_overhead = schedule.scheduling_overhead
         if abs(overhead_total - expected_overhead) > 1e-9 * max(
             1.0, expected_overhead
@@ -78,28 +239,53 @@ class PipelineExecutor:
                 f"{overhead_total} vs {expected_overhead}"
             )
 
-        def stage_process(name: str, predecessor):
+        def stage_process(name: str, predecessors: list[SimProcess]):
             placement = schedule.assignments[name]
+            device = devices[placement]
             duration = schedule.stage_times[name].total
-            if predecessor is not None:
+            for predecessor in predecessors:
                 yield predecessor
-            if transfer_in[name] > 0:
-                yield link_resource.acquire()
-                yield engine.timeout(transfer_in[name])
-                yield link_resource.release()
-            yield resources[placement].acquire()
+            for label, wire, cost in transfers[name]:
+                yield wire.acquire()
+                start = engine.now
+                yield engine.timeout(cost)
+                if observer is not None:
+                    observer(wire.name, label_prefix + label, start, engine.now)
+                yield wire.release()
+            yield device.acquire()
+            start = engine.now
             yield engine.timeout(duration)
-            yield resources[placement].release()
+            if observer is not None:
+                observer(
+                    str(placement), label_prefix + name, start, engine.now
+                )
+            yield device.release()
 
-        previous = None
-        for name in stage_order:
-            previous = engine.spawn(stage_process(name, previous), name=name)
-            processes[name] = previous
+        processes: dict[str, SimProcess] = {}
+        for name in pipeline.topological_order:
+            predecessors = [processes[p] for p in pipeline.predecessors(name)]
+            processes[name] = engine.spawn(
+                stage_process(name, predecessors), name=label_prefix + name
+            )
+        return processes, overhead_total
 
-        total_time = engine.run()
+    @staticmethod
+    def _finish_time(processes: dict[str, SimProcess]) -> float:
+        finishes = [p.finish_time for p in processes.values()]
+        if any(f is None for f in finishes):
+            raise SimulationError("job finished with unfinished stages")
+        return max(finishes)
 
+    @staticmethod
+    def _job_report(
+        pipeline: Pipeline,
+        schedule: Schedule,
+        overhead_total: float,
+        total_time: float,
+    ) -> ExecutionReport:
         phase_seconds = {
-            name: schedule.stage_times[name].total for name in stage_order
+            name: schedule.stage_times[name].total
+            for name in pipeline.stage_names
         }
         return ExecutionReport(
             phase_seconds=phase_seconds,

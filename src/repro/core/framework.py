@@ -2,23 +2,37 @@
 
 :class:`NdftFramework` wires everything together for one Si_N problem:
 
-1. build the LR-TDDFT pipeline and its function IR;
+1. build the LR-TDDFT pipeline (the Fig. 1 chain by default, any DAG on
+   request) and its function IR;
 2. run the SCA over every function (boundedness + consistency);
-3. schedule with the cost-aware offloader (Eq. 1);
-4. execute on the CPU-NDP machine models through the DES engine;
+3. schedule with the cost-aware offloader (Eq. 1) over the registered
+   execution targets (CPU + NDP, plus the discrete GPU when
+   ``enable_gpu=True``);
+4. execute on the machine models through the DES engine;
 5. account pseudopotential memory under the shared-block layout.
 
 The result carries everything the evaluation section reports: per-phase
 breakdown (Fig. 7), scheduling-overhead fraction (§VI-A), and memory
 footprints (Table I / §VI-A discussion).
+
+Beyond the paper, :meth:`NdftFramework.run_many` is the batching
+front-end: it schedules a batch of heterogeneous problem sizes and
+executes them concurrently through one shared engine, reporting per-job
+completion times plus aggregate makespan and throughput — the serving
+mode a DFT-as-a-service deployment runs in.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from typing import Callable, Sequence
 
-from repro.core.cost_model import OffloadCostModel
-from repro.core.executor import ExecutionReport, PipelineExecutor
+from repro.core.cost_model import OffloadCostModel, serial_links
+from repro.core.executor import (
+    BatchExecutionReport,
+    ExecutionReport,
+    PipelineExecutor,
+)
 from repro.core.pipeline import Pipeline, build_pipeline
 from repro.core.sca import ScaReport, StaticCodeAnalyzer
 from repro.core.scheduler import (
@@ -27,8 +41,9 @@ from repro.core.scheduler import (
     SchedulingPolicy,
 )
 from repro.dft.workload import ProblemSize, problem_size
-from repro.hw.config import SystemConfig, ndft_system_config
+from repro.hw.config import SystemConfig, gpu_baseline_config, ndft_system_config
 from repro.hw.cpu import CpuModel
+from repro.hw.gpu import GpuModel
 from repro.hw.interconnect import HostLink
 from repro.hw.ndp import NdpSystemModel
 from repro.hw.roofline import RooflineModel
@@ -73,29 +88,101 @@ class NdftRunResult:
         return self.report.breakdown()
 
 
+@dataclass(frozen=True)
+class NdftBatchResult:
+    """A batch of jobs executed concurrently on one shared machine."""
+
+    jobs: tuple[NdftRunResult, ...]
+    batch_report: BatchExecutionReport
+    #: What the same jobs cost run one at a time on a dedicated machine
+    #: (the sum of standalone DES makespans).
+    solo_times: tuple[float, ...]
+
+    @property
+    def n_jobs(self) -> int:
+        return len(self.jobs)
+
+    @property
+    def makespan(self) -> float:
+        """Aggregate completion time of the whole batch."""
+        return self.batch_report.makespan
+
+    @property
+    def throughput(self) -> float:
+        """Jobs per second of shared-machine time."""
+        return self.batch_report.throughput
+
+    @property
+    def serial_time(self) -> float:
+        """Back-to-back baseline: the sum of standalone single-job runs."""
+        return sum(self.solo_times)
+
+    @property
+    def batching_speedup(self) -> float:
+        """Makespan advantage of sharing the machine across the batch."""
+        if self.makespan == 0:
+            return 1.0
+        return self.serial_time / self.makespan
+
+    def job_completion_times(self) -> tuple[tuple[str, float], ...]:
+        """Per-job ``(label, completion seconds)`` in submission order
+        (completion includes queueing for shared devices).  A batch may
+        contain several jobs of the same size, so labels can repeat."""
+        return tuple(
+            (result.problem.label, result.report.total_time)
+            for result in self.jobs
+        )
+
+
 class NdftFramework:
-    """NDFT on the Table III CPU-NDP system."""
+    """NDFT on the Table III CPU-NDP system.
+
+    ``enable_gpu=True`` additionally registers the discrete-GPU baseline
+    machine as a third schedulable target, letting the cost-aware
+    scheduler mix all three device kinds.  The default keeps the paper's
+    two-sided system (and its published numbers) intact.
+    """
 
     def __init__(
         self,
         system: SystemConfig | None = None,
         policy: SchedulingPolicy = SchedulingPolicy.COST_AWARE,
+        enable_gpu: bool = False,
     ):
         self.system = system or ndft_system_config()
         self.policy = policy
         self.host = CpuModel(self.system.host)
         self.ndp = NdpSystemModel(self.system.ndp)
+        self.gpu = GpuModel(gpu_baseline_config()) if enable_gpu else None
         # Offload handovers run at half the raw link rate: the releasing
         # side flushes dirty lines before the consuming side can pull
         # (flush + copy, serialized).
+        cpu_ndp_link = HostLink(
+            bandwidth=self.system.ndp.host_link_bandwidth / 2.0
+        )
+        device_links: dict[frozenset, HostLink] = {}
+        if self.gpu is not None:
+            # GPU boundaries ride PCIe, not the CPU<->NDP host link; an
+            # NDP<->GPU handover stages through host memory, traversing
+            # both wires in series.
+            pcie = HostLink(
+                bandwidth=self.gpu.config.aggregate_pcie_bandwidth,
+                base_latency=1e-6,
+            )
+            device_links[frozenset({"cpu", "gpu"})] = pcie
+            device_links[frozenset({"ndp", "gpu"})] = serial_links(
+                cpu_ndp_link, pcie
+            )
         self.cost_model = OffloadCostModel(
-            host_link=HostLink(
-                bandwidth=self.system.ndp.host_link_bandwidth / 2.0
-            ),
+            host_link=cpu_ndp_link,
             context_switch=self.system.context_switch_overhead,
+            device_links=device_links,
         )
         self.scheduler = CostAwareScheduler(
-            host=self.host, ndp=self.ndp, cost_model=self.cost_model
+            host=self.host,
+            ndp=self.ndp,
+            cost_model=self.cost_model,
+            gpu=self.gpu,
         )
         self.executor = PipelineExecutor(cost_model=self.cost_model)
         self.sca = StaticCodeAnalyzer(
@@ -114,6 +201,9 @@ class NdftFramework:
             ),
         )
 
+    # ------------------------------------------------------------------
+    # Single job
+    # ------------------------------------------------------------------
     def run(
         self,
         n_atoms: int | None = None,
@@ -122,16 +212,90 @@ class NdftFramework:
     ) -> NdftRunResult:
         """Schedule + execute LR-TDDFT for Si_{n_atoms} on the CPU-NDP
         system and account its memory."""
+        problem, pipeline = self._resolve_job(n_atoms, problem, pipeline)
+        schedule = self.scheduler.schedule(pipeline, self.policy)
+        report = self.executor.execute(pipeline, schedule)
+        return self._run_result(problem, pipeline, schedule, report)
+
+    # ------------------------------------------------------------------
+    # Batched jobs
+    # ------------------------------------------------------------------
+    def run_many(
+        self,
+        batch: Sequence[int | ProblemSize | Pipeline],
+        pipeline_builder: Callable[[ProblemSize], Pipeline] | None = None,
+    ) -> NdftBatchResult:
+        """Schedule and execute a batch of heterogeneous jobs through one
+        shared engine.
+
+        ``batch`` entries may be atom counts, :class:`ProblemSize` records
+        or prebuilt pipelines (mixed freely).  Every job is scheduled
+        independently under the framework policy, then all jobs execute
+        concurrently on the shared device/link resources, so jobs whose
+        placements use different devices at different times genuinely
+        overlap.  ``pipeline_builder`` overrides the Fig. 1 chain for
+        entries given as sizes (e.g. ``build_kpoint_pipeline``).
+        """
+        if not batch:
+            raise ValueError("run_many needs at least one job")
+        builder = pipeline_builder or build_pipeline
+        jobs: list[tuple[ProblemSize, Pipeline, Schedule]] = []
+        for entry in batch:
+            if isinstance(entry, Pipeline):
+                problem, pipeline = entry.problem, entry
+            elif isinstance(entry, ProblemSize):
+                problem, pipeline = entry, builder(entry)
+            else:
+                problem = problem_size(entry)
+                pipeline = builder(problem)
+            schedule = self.scheduler.schedule(pipeline, self.policy)
+            jobs.append((problem, pipeline, schedule))
+
+        batch_report = self.executor.execute_many(
+            [(pipeline, schedule) for _problem, pipeline, schedule in jobs]
+        )
+        solo_times = tuple(
+            self.executor.execute(pipeline, schedule).total_time
+            for _problem, pipeline, schedule in jobs
+        )
+        results = tuple(
+            self._run_result(problem, pipeline, schedule, report)
+            for (problem, pipeline, schedule), report in zip(
+                jobs, batch_report.job_reports
+            )
+        )
+        return NdftBatchResult(
+            jobs=results, batch_report=batch_report, solo_times=solo_times
+        )
+
+    # ------------------------------------------------------------------
+    # Internals
+    # ------------------------------------------------------------------
+    def _resolve_job(
+        self,
+        n_atoms: int | None,
+        problem: ProblemSize | None,
+        pipeline: Pipeline | None,
+    ) -> tuple[ProblemSize, Pipeline]:
         if problem is None:
-            if n_atoms is None:
-                raise ValueError("pass n_atoms or problem")
-            problem = problem_size(n_atoms)
-        pipeline = pipeline or build_pipeline(problem)
+            if pipeline is not None:
+                problem = pipeline.problem
+            elif n_atoms is not None:
+                problem = problem_size(n_atoms)
+            else:
+                raise ValueError("pass n_atoms, problem or pipeline")
+        return problem, pipeline or build_pipeline(problem)
+
+    def _run_result(
+        self,
+        problem: ProblemSize,
+        pipeline: Pipeline,
+        schedule: Schedule,
+        report: ExecutionReport,
+    ) -> NdftRunResult:
         sca_reports = self.sca.analyze_all(
             [stage.function for stage in pipeline.stages]
         )
-        schedule = self.scheduler.schedule(pipeline, self.policy)
-        report = self.executor.execute(pipeline, schedule)
         return NdftRunResult(
             problem=problem,
             schedule=schedule,

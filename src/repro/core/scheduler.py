@@ -1,18 +1,33 @@
 """Cost-aware workload partitioning and scheduling (paper §IV-A).
 
-Given the LR-TDDFT pipeline, the two execution targets (the host CPU and
-the NDP system) and the offload cost model, the scheduler picks a
-placement per *function* (the paper's chosen granularity) minimizing
+Given a stage DAG, a registry of execution targets and the offload cost
+model, the scheduler picks a placement per *function* (the paper's chosen
+granularity) minimizing
 
     sum of stage execution times  +  Eq. 1 scheduling overhead,
 
-by exhaustive enumeration — the pipeline has six stages, so the 2^6
-assignment space is tiny and the result is provably optimal under the
-model.  Alternative policies reproduce the paper's comparisons:
+where the overhead is charged for every data edge whose endpoints run on
+different targets.  The search is an exact dynamic program over the
+topological order (:meth:`CostAwareScheduler._dag_optimal`): the DP state
+is the placement of the stages still "live" (those with unprocessed
+successors), so a chain costs O(stages x targets^2), a diamond
+O(stages x targets^3), and the result provably matches exhaustive
+enumeration — which is retained as :meth:`_exhaustive_best`, the oracle
+the tests cross-check against on small graphs.
+
+Targets are pluggable: the registry starts with the paper's two sides
+(``Placement.CPU`` — the host, ``Placement.NDP`` — the near-data system)
+and admits further machines via :meth:`CostAwareScheduler.register_target`
+— the discrete GPU (:class:`repro.hw.gpu.GpuModel`) being the first-class
+third target.  Any object with ``execute(workload) -> PhaseTime``
+qualifies.
+
+Alternative policies reproduce the paper's comparisons:
 
 - ``ALL_CPU`` / ``ALL_NDP``: homogeneous placements;
-- ``NAIVE``: per-stage greedy on raw kernel time, ignoring DT/CXT — what a
-  boundedness-only offloader (no cost model) would do.
+- ``NAIVE``: per-stage greedy on raw kernel time over every registered
+  target, ignoring DT/CXT — what a boundedness-only offloader (no cost
+  model) would do.
 
 The granularity ablation (§IV-A1) lives in
 :func:`granularity_overheads`: finer granularities multiply boundary
@@ -23,7 +38,8 @@ from __future__ import annotations
 
 import enum
 import itertools
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
+from typing import Protocol
 
 from repro.core.cost_model import OffloadCostModel
 from repro.core.pipeline import Pipeline
@@ -31,14 +47,25 @@ from repro.errors import SchedulingError
 from repro.hw.cpu import CpuModel
 from repro.hw.ndp import NdpSystemModel
 from repro.hw.timing import PhaseTime
+from repro.model import KernelWorkload
 
 
 class Placement(str, enum.Enum):
+    """A named execution target slot in the scheduler's registry."""
+
     CPU = "cpu"
     NDP = "ndp"
+    GPU = "gpu"
 
     def __str__(self) -> str:  # pragma: no cover - cosmetic
         return self.value
+
+
+class ExecutionTarget(Protocol):
+    """What the scheduler needs from a machine model."""
+
+    def execute(self, workload: KernelWorkload) -> PhaseTime:  # pragma: no cover
+        ...
 
 
 class SchedulingPolicy(enum.Enum):
@@ -50,7 +77,15 @@ class SchedulingPolicy(enum.Enum):
 
 @dataclass(frozen=True)
 class Schedule:
-    """A complete placement decision with its predicted cost."""
+    """A complete placement decision with its predicted cost.
+
+    ``predicted_total`` is the *work-conserving* prediction: the sum of
+    every stage's execution time plus the Eq. 1 overhead.  On a chain it
+    equals the executor's makespan; on a branching DAG the DES executor
+    can beat it by overlapping independent branches on distinct devices
+    (:class:`repro.core.executor.ExecutionReport.total_time` is the
+    makespan ground truth).
+    """
 
     policy: SchedulingPolicy
     assignments: dict[str, Placement]
@@ -58,11 +93,19 @@ class Schedule:
     crossing_bytes: tuple[float, ...]
     scheduling_overhead: float
     predicted_total: float
+    #: The (src, dst) placements of each crossing edge, aligned with
+    #: ``crossing_bytes`` — decides which physical link each boundary pays.
+    crossing_pairs: tuple[tuple[Placement, Placement], ...] = ()
 
     @property
     def n_boundaries(self) -> int:
         return len(self.crossing_bytes)
 
+    @property
+    def placements_used(self) -> frozenset[Placement]:
+        return frozenset(self.assignments.values())
+
+    @property
     def overhead_fraction(self) -> float:
         """Scheduling overhead as a fraction of predicted runtime — the
         §VI-A metric (3.8 % small / 4.9 % large)."""
@@ -73,25 +116,62 @@ class Schedule:
 
 @dataclass
 class CostAwareScheduler:
-    """Places pipeline stages on the CPU or the NDP side."""
+    """Places pipeline stages onto the registered execution targets."""
 
     host: CpuModel
     ndp: NdpSystemModel
     cost_model: OffloadCostModel
+    gpu: ExecutionTarget | None = None
+    _targets: dict[Placement, ExecutionTarget] = field(
+        init=False, repr=False, default_factory=dict
+    )
     _time_cache: dict = field(default_factory=dict, repr=False)
+
+    def __post_init__(self) -> None:
+        self._targets = {Placement.CPU: self.host, Placement.NDP: self.ndp}
+        if self.gpu is not None:
+            self._targets[Placement.GPU] = self.gpu
+
+    # ------------------------------------------------------------------
+    # Target registry
+    # ------------------------------------------------------------------
+    @property
+    def targets(self) -> tuple[Placement, ...]:
+        """Registered targets, in registration order."""
+        return tuple(self._targets)
+
+    def target_machine(self, placement: Placement) -> ExecutionTarget:
+        try:
+            return self._targets[placement]
+        except KeyError:
+            raise SchedulingError(
+                f"no machine registered for target {placement!r}"
+            ) from None
+
+    def register_target(
+        self, placement: Placement, machine: ExecutionTarget
+    ) -> None:
+        """Add (or replace) an execution target.  Cached stage times for
+        the slot are dropped so a swapped machine re-times cleanly."""
+        self._targets[placement] = machine
+        self._time_cache = {
+            key: value
+            for key, value in self._time_cache.items()
+            if key[1] is not placement
+        }
 
     # ------------------------------------------------------------------
     # Stage timing on each target
     # ------------------------------------------------------------------
     def stage_time(self, pipeline: Pipeline, name: str, placement: Placement) -> PhaseTime:
-        # Keyed by the (hashable, frozen) pipeline itself: identical
-        # problems share entries, and holding the reference prevents the
-        # id-reuse aliasing a raw id() key would suffer.
-        key = (pipeline.problem, name, placement)
+        # Keyed by the (hashable, frozen) workload itself: identical
+        # workloads share entries across pipelines, and holding the
+        # reference prevents the id-reuse aliasing a raw id() key would
+        # suffer.
+        workload = pipeline.stage(name).workload
+        key = (workload, placement)
         if key not in self._time_cache:
-            workload = pipeline.stage(name).workload
-            machine = self.host if placement is Placement.CPU else self.ndp
-            self._time_cache[key] = machine.execute(workload)
+            self._time_cache[key] = self.target_machine(placement).execute(workload)
         return self._time_cache[key]
 
     # ------------------------------------------------------------------
@@ -108,12 +188,20 @@ class CostAwareScheduler:
             name: self.stage_time(pipeline, name, assignments[name])
             for name in pipeline.stage_names
         }
-        crossing = tuple(
-            edge.nbytes
+        crossing_edges = [
+            edge
             for edge in pipeline.edges
             if assignments[edge.src] is not assignments[edge.dst]
+        ]
+        crossing = tuple(edge.nbytes for edge in crossing_edges)
+        pairs = tuple(
+            (assignments[edge.src], assignments[edge.dst])
+            for edge in crossing_edges
         )
-        overhead = self.cost_model.schedule_overhead(list(crossing))
+        overhead = sum(
+            self.cost_model.boundary_cost(nbytes, pair)
+            for nbytes, pair in zip(crossing, pairs)
+        )
         total = sum(t.total for t in stage_times.values()) + overhead
         return Schedule(
             policy=SchedulingPolicy.COST_AWARE,
@@ -122,6 +210,7 @@ class CostAwareScheduler:
             crossing_bytes=crossing,
             scheduling_overhead=overhead,
             predicted_total=total,
+            crossing_pairs=pairs,
         )
 
     # ------------------------------------------------------------------
@@ -140,34 +229,84 @@ class CostAwareScheduler:
             result = self.evaluate(pipeline, assignment)
         elif policy is SchedulingPolicy.NAIVE:
             assignment = {
-                name: (
-                    Placement.CPU
-                    if self.stage_time(pipeline, name, Placement.CPU).total
-                    <= self.stage_time(pipeline, name, Placement.NDP).total
-                    else Placement.NDP
+                name: min(
+                    self.targets,
+                    key=lambda t: self.stage_time(pipeline, name, t).total,
                 )
                 for name in pipeline.stage_names
             }
             result = self.evaluate(pipeline, assignment)
         elif policy is SchedulingPolicy.COST_AWARE:
-            result = self._exhaustive_best(pipeline)
+            result = self._dag_optimal(pipeline)
         else:  # pragma: no cover - exhaustive enum
             raise SchedulingError(f"unknown policy {policy}")
-        return Schedule(
-            policy=policy,
-            assignments=result.assignments,
-            stage_times=result.stage_times,
-            crossing_bytes=result.crossing_bytes,
-            scheduling_overhead=result.scheduling_overhead,
-            predicted_total=result.predicted_total,
-        )
+        return replace(result, policy=policy)
+
+    def _dag_optimal(self, pipeline: Pipeline) -> Schedule:
+        """Exact topological-order DP over placements.
+
+        Walk the stages in topological order; the DP state after step i is
+        the placement tuple of the *live* stages — those whose successors
+        are not all processed yet — because only they can still influence
+        future edge-crossing costs.  Dead stages are projected out, which
+        is what keeps the state space at targets^(frontier width) instead
+        of targets^stages: the 6-stage chain explores 12 states total
+        where the old exhaustive search enumerated 64 assignments.
+        """
+        order = pipeline.topological_order
+        position = {name: i for i, name in enumerate(order)}
+        last_use = {
+            name: max(
+                (position[s] for s in pipeline.successors(name)),
+                default=position[name],
+            )
+            for name in order
+        }
+        targets = self.targets
+
+        # state: tuple of (live stage, placement) pairs, sorted by name
+        #   -> (accumulated cost, assignments so far)
+        states: dict[tuple, tuple[float, dict[str, Placement]]] = {
+            (): (0.0, {})
+        }
+        for i, name in enumerate(order):
+            in_edges = pipeline.in_edges(name)
+            time_on = {
+                t: self.stage_time(pipeline, name, t).total for t in targets
+            }
+            new_states: dict[tuple, tuple[float, dict[str, Placement]]] = {}
+            for live, (cost, assignments) in states.items():
+                live_map = dict(live)
+                for target in targets:
+                    candidate = cost + time_on[target]
+                    for edge in in_edges:
+                        if live_map[edge.src] is not target:
+                            candidate += self.cost_model.boundary_cost(
+                                edge.nbytes, (live_map[edge.src], target)
+                            )
+                    next_live = {
+                        k: v for k, v in live_map.items() if last_use[k] > i
+                    }
+                    if last_use[name] > i:
+                        next_live[name] = target
+                    key = tuple(sorted(next_live.items()))
+                    incumbent = new_states.get(key)
+                    if incumbent is None or candidate < incumbent[0]:
+                        new_states[key] = (
+                            candidate,
+                            {**assignments, name: target},
+                        )
+            states = new_states
+        _cost, best = min(states.values(), key=lambda entry: entry[0])
+        return self.evaluate(pipeline, best)
 
     def _exhaustive_best(self, pipeline: Pipeline) -> Schedule:
+        """Brute-force enumeration over targets^stages — kept as the
+        oracle the DP is validated against on small graphs (<= 8 stages
+        stays comfortably enumerable)."""
         names = pipeline.stage_names
         best: Schedule | None = None
-        for choices in itertools.product(
-            (Placement.CPU, Placement.NDP), repeat=len(names)
-        ):
+        for choices in itertools.product(self.targets, repeat=len(names)):
             candidate = self.evaluate(pipeline, dict(zip(names, choices)))
             if best is None or candidate.predicted_total < best.predicted_total:
                 best = candidate
@@ -213,10 +352,10 @@ def granularity_overheads(
             results[granularity] = 0.0
             continue
         overhead = 0.0
-        for nbytes in base.crossing_bytes:
+        for nbytes, pair in zip(base.crossing_bytes, base.crossing_pairs):
             per_crossing = nbytes / crossings
             overhead += crossings * scheduler.cost_model.boundary_cost(
-                per_crossing
+                per_crossing, pair
             )
         results[granularity] = overhead
     return results

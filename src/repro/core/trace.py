@@ -1,11 +1,15 @@
 """Execution timeline: turn a schedule into trace events and ASCII Gantt.
 
-The DES executor reports only totals; this module replays a schedule into
-explicit ``(start, end, lane)`` events — one lane per device plus one for
-the host link — which the examples render as an ASCII Gantt chart and the
-tests use to check that the executor's serialization matches the timeline
-(no overlapping occupancy on a lane, transfers strictly between producer
-and consumer).
+The DES executor reports only totals; this module captures its exact
+occupancy intervals — one lane per device plus one per inter-device
+wire — which the examples render as an ASCII Gantt chart and the tests
+use to check the executor's serialization (no overlapping occupancy on a
+lane, transfers strictly between producer and consumer).
+
+Since the DAG generalization the timeline is no longer replayed by a
+separate clock walk: :func:`build_timeline` runs the real executor with a
+trace observer attached, so branch overlap, device contention and link
+serialization appear in the events exactly as the DES resolved them.
 """
 
 from __future__ import annotations
@@ -13,8 +17,9 @@ from __future__ import annotations
 from dataclasses import dataclass
 
 from repro.core.cost_model import OffloadCostModel
+from repro.core.executor import PipelineExecutor
 from repro.core.pipeline import Pipeline
-from repro.core.scheduler import Placement, Schedule
+from repro.core.scheduler import Schedule
 from repro.errors import SimulationError
 
 
@@ -22,7 +27,7 @@ from repro.errors import SimulationError
 class TraceEvent:
     """One occupancy interval on one lane."""
 
-    lane: str          # "cpu", "ndp" or "link"
+    lane: str          # "cpu"/"ndp"/"gpu", or "link:<pair>" per wire
     label: str
     start: float
     end: float
@@ -39,35 +44,20 @@ class TraceEvent:
 def build_timeline(
     pipeline: Pipeline, schedule: Schedule, cost_model: OffloadCostModel
 ) -> list[TraceEvent]:
-    """Replay the chain schedule into trace events.
-
-    The LR-TDDFT pipeline is a chain, so the timeline is sequential:
-    each stage waits for its predecessor, pays its boundary transfer on
-    the link lane, then occupies its device lane.
-    """
+    """Execute the schedule through the DES, recording every occupancy
+    interval.  Works for any DAG: each stage waits for all predecessors,
+    boundary transfers occupy the link lane, and independent branches on
+    different devices show up as overlapping events on distinct lanes."""
     events: list[TraceEvent] = []
-    clock = 0.0
-    previous_placement: Placement | None = None
-    for stage in pipeline.stages:
-        placement = schedule.assignments[stage.name]
-        if previous_placement is not None and placement is not previous_placement:
-            crossing = sum(
-                edge.nbytes
-                for edge in pipeline.edges
-                if edge.dst == stage.name
-                and schedule.assignments[edge.src] is not placement
-            )
-            transfer = cost_model.boundary_cost(crossing)
-            events.append(
-                TraceEvent("link", f"{stage.name} in", clock, clock + transfer)
-            )
-            clock += transfer
-        duration = schedule.stage_times[stage.name].total
-        events.append(
-            TraceEvent(str(placement), stage.name, clock, clock + duration)
-        )
-        clock += duration
-        previous_placement = placement
+    executor = PipelineExecutor(cost_model=cost_model)
+    executor.execute(
+        pipeline,
+        schedule,
+        observer=lambda lane, label, start, end: events.append(
+            TraceEvent(lane, label, start, end)
+        ),
+    )
+    events.sort(key=lambda e: (e.start, e.end, e.lane))
     return events
 
 
@@ -96,6 +86,7 @@ def render_gantt(events: list[TraceEvent], width: int = 72) -> str:
     horizon = total_time(events)
     scale = width / horizon if horizon > 0 else 0.0
     lanes = sorted({e.lane for e in events})
+    lane_width = max(5, max(len(lane) for lane in lanes))
     lines = [f"timeline: {horizon:.4f} s  ({width} cols)"]
     for lane in lanes:
         row = [" "] * width
@@ -107,7 +98,7 @@ def render_gantt(events: list[TraceEvent], width: int = 72) -> str:
             glyph = event.label[0].upper()
             for column in range(start, end):
                 row[column] = glyph
-        lines.append(f"{lane:>5s} |{''.join(row)}|")
+        lines.append(f"{lane:>{lane_width}s} |{''.join(row)}|")
     legend = ", ".join(
         f"{e.label[0].upper()}={e.label}" for e in events
     )

@@ -9,6 +9,7 @@ Fig. 7      CPU/GPU/NDFT time breakdown, small + large     ``fig7_breakdown``
 Fig. 8      speedup over CPU, Si_16 .. Si_2048             ``fig8_scalability``
 §VI-A       scheduling overhead / footprint / comm deltas  ``discussion``
 §IV ablns   granularity + shared-memory design points      ``ablations``
+(extension) batched serving on one shared machine          ``batch_throughput``
 ==========  =============================================  =================
 
 Every driver returns plain dataclasses/dicts and has a ``format_*`` helper
@@ -28,8 +29,11 @@ from repro.experiments.ablations import (
     run_policy_ablation,
     run_shared_memory_ablation,
 )
+from repro.experiments.batch_throughput import BatchStudy, run_batch_study
 
 __all__ = [
+    "BatchStudy",
+    "run_batch_study",
     "Comparison",
     "format_table",
     "RooflineStudy",

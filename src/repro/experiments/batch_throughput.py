@@ -1,0 +1,87 @@
+"""Batched-serving study (extension beyond the paper).
+
+DFT-as-a-service deployments push many independent DFT jobs through one
+machine; the interesting question for the CPU-NDP system is how much of
+that load the heterogeneous placement absorbs for free.  Because the
+cost-aware schedule alternates devices along each job's chain (memory
+phases on NDP, dense algebra on the host), two concurrent jobs naturally
+interleave: one occupies the CPU while the other streams on the NDP side.
+
+This driver runs a mixed batch through
+:meth:`repro.core.framework.NdftFramework.run_many` (one shared DES
+engine, shared device and link resources) and reports:
+
+- per-job completion times inside the batch (queueing included);
+- the aggregate makespan and throughput;
+- the batching speedup over running the same jobs back to back.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.core.framework import NdftBatchResult, NdftFramework
+
+#: Default mixed batch: two small interactive jobs sharing the machine
+#: with one mid-size and one large job.
+DEFAULT_BATCH_SIZES = (64, 64, 512, 1024)
+
+
+@dataclass(frozen=True)
+class BatchStudy:
+    """Shared-machine batch vs one-at-a-time serial execution."""
+
+    sizes: tuple[int, ...]
+    result: NdftBatchResult
+
+    @property
+    def makespan(self) -> float:
+        return self.result.makespan
+
+    @property
+    def serial_time(self) -> float:
+        return self.result.serial_time
+
+    @property
+    def throughput(self) -> float:
+        return self.result.throughput
+
+    @property
+    def batching_speedup(self) -> float:
+        return self.result.batching_speedup
+
+    def job_rows(self) -> list[tuple[str, float, float]]:
+        """(label, solo seconds, in-batch completion seconds) per job."""
+        return [
+            (job.problem.label, solo, job.report.total_time)
+            for job, solo in zip(self.result.jobs, self.result.solo_times)
+        ]
+
+
+def run_batch_study(
+    sizes: tuple[int, ...] = DEFAULT_BATCH_SIZES,
+    framework: NdftFramework | None = None,
+) -> BatchStudy:
+    """Schedule + execute the batch on one shared machine."""
+    framework = framework or NdftFramework()
+    return BatchStudy(
+        sizes=tuple(sizes), result=framework.run_many(list(sizes))
+    )
+
+
+def format_batch(study: BatchStudy) -> str:
+    lines = [
+        f"Batched serving - {len(study.sizes)} concurrent jobs, shared CPU-NDP machine",
+        f"{'job':<10s} {'solo (s)':>10s} {'in-batch (s)':>13s}",
+    ]
+    for label, solo, batched in study.job_rows():
+        lines.append(f"{label:<10s} {solo:10.4f} {batched:13.4f}")
+    lines.append(
+        f"{'serial':<10s} {study.serial_time:10.4f}   (jobs back to back)"
+    )
+    lines.append(
+        f"{'batch':<10s} {study.makespan:10.4f}   "
+        f"(makespan; {study.batching_speedup:.2f}x vs serial, "
+        f"{study.throughput:.2f} jobs/s)"
+    )
+    return "\n".join(lines)

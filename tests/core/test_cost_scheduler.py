@@ -108,7 +108,7 @@ class TestPolicies:
 
     def test_overhead_fraction_in_paper_band(self, scheduler, pipeline_large):
         schedule = scheduler.schedule(pipeline_large, SchedulingPolicy.COST_AWARE)
-        assert 0.01 < schedule.overhead_fraction() < 0.10
+        assert 0.01 < schedule.overhead_fraction < 0.10
 
 
 class TestGranularity:

@@ -40,8 +40,10 @@ class TestTimeline:
 
     def test_link_events_only_at_boundaries(self, traced):
         _pipeline, schedule, events = traced
-        link_events = [e for e in events if e.lane == "link"]
+        link_events = [e for e in events if e.lane.startswith("link")]
         assert len(link_events) == schedule.n_boundaries
+        # the chain only ever crosses the CPU<->NDP wire
+        assert {e.lane for e in link_events} == {"link:cpu-ndp"}
 
     def test_overlap_detection(self):
         events = [

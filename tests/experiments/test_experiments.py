@@ -12,6 +12,7 @@ from repro.experiments.ablations import (
     run_policy_ablation,
     run_shared_memory_ablation,
 )
+from repro.experiments.batch_throughput import format_batch, run_batch_study
 from repro.experiments.discussion import run_discussion
 from repro.experiments.fig4_roofline import format_roofline, run_roofline_study
 from repro.experiments.fig7_breakdown import (
@@ -182,6 +183,20 @@ class TestAblations:
         assert result.memory_reduction_percent > 50.0
         assert result.filter_effective
         assert result.inter_stack_bytes_first_pass > 0
+
+
+class TestBatchStudy:
+    def test_mixed_batch_beats_serial(self, framework):
+        study = run_batch_study((64, 512), framework)
+        assert study.makespan < study.serial_time
+        assert study.batching_speedup > 1.0
+
+    def test_format(self, framework):
+        study = run_batch_study((64, 64), framework)
+        text = format_batch(study)
+        assert "Si_64" in text and "makespan" in text
+        # one header, one column row, one row per job, serial + batch rows
+        assert len(text.splitlines()) == 2 + 2 + 2
 
 
 class TestReport:

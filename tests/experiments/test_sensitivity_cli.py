@@ -86,6 +86,11 @@ class TestCli:
         assert main(["ablations", "--atoms", "64"]) == 0
         assert "granularity" in capsys.readouterr().out
 
+    def test_batch(self, capsys):
+        assert main(["batch", "--atoms", "64", "256"]) == 0
+        out = capsys.readouterr().out
+        assert "Si_64" in out and "Si_256" in out and "makespan" in out
+
     def test_rejects_unknown_artifact(self):
         with pytest.raises(SystemExit):
             main(["nonsense"])
