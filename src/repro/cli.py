@@ -10,7 +10,13 @@ Regenerates any of the paper's artifacts from a shell:
     python -m repro ablations
     python -m repro sensitivity   # design-space sweeps (extension)
     python -m repro batch --atoms 64 64 512 1024   # batched serving (extension)
+    python -m repro batch --policy all_cpu         # ... under another scheduler
+    python -m repro serve-bench   # wall-clock serving throughput sweep
     python -m repro all           # everything, in paper order
+
+``serve-bench`` is excluded from ``all``: it measures wall-clock time of
+this machine rather than a paper artifact, so its output is not
+reproducible across hosts.
 """
 
 from __future__ import annotations
@@ -19,6 +25,7 @@ import argparse
 import sys
 
 from repro.core.framework import NdftFramework
+from repro.core.scheduler import SchedulingPolicy
 
 
 def _fig4(_args, _framework) -> str:
@@ -137,8 +144,35 @@ def _batch(args, framework) -> str:
         run_batch_study,
     )
 
+    policy = SchedulingPolicy(args.policy)
+    if policy is not framework.policy:
+        framework = NdftFramework(policy=policy)
     sizes = tuple(args.atoms) if args.atoms else DEFAULT_BATCH_SIZES
-    return format_batch(run_batch_study(sizes, framework))
+    header = f"scheduling policy: {policy.value}\n"
+    return header + format_batch(run_batch_study(sizes, framework))
+
+
+def _serve_bench(args, _framework) -> str:
+    from repro.experiments.scale_serving import (
+        DEFAULT_BATCH_SIZES,
+        DEFAULT_MIX,
+        format_serve_bench,
+        run_serve_bench,
+    )
+
+    batch_sizes = (
+        tuple(args.batch_sizes) if args.batch_sizes else DEFAULT_BATCH_SIZES
+    )
+    mix = tuple(args.atoms) if args.atoms else DEFAULT_MIX
+    cached = not args.no_cache
+    report = run_serve_bench(
+        batch_sizes=batch_sizes,
+        mix=mix,
+        repeats=args.repeats,
+        cached=cached,
+    )
+    path = report.write_json(args.json) if args.json else report.write_json()
+    return format_serve_bench(report, cached=cached) + f"\nwrote {path}"
 
 
 _COMMANDS = {
@@ -150,7 +184,12 @@ _COMMANDS = {
     "ablations": _ablations,
     "sensitivity": _sensitivity,
     "batch": _batch,
+    "serve-bench": _serve_bench,
 }
+
+#: Wall-clock measurements of the host machine, not paper artifacts:
+#: excluded from ``all`` so the paper regeneration stays reproducible.
+_EXCLUDED_FROM_ALL = frozenset({"serve-bench"})
 
 
 def main(argv: list[str] | None = None) -> int:
@@ -170,13 +209,49 @@ def main(argv: list[str] | None = None) -> int:
         help=(
             "system size(s) for fig7/ablations/sensitivity; for batch, the "
             "full job mix to serve concurrently (repeats allowed, e.g. "
-            "--atoms 64 64 512 1024)"
+            "--atoms 64 64 512 1024); for serve-bench, the distinct sizes "
+            "mixed round-robin into each batch"
         ),
+    )
+    parser.add_argument(
+        "--policy",
+        choices=[p.value for p in SchedulingPolicy],
+        default=SchedulingPolicy.COST_AWARE.value,
+        help="scheduling policy for batch (default: cost_aware)",
+    )
+    parser.add_argument(
+        "--batch-sizes",
+        type=int,
+        nargs="*",
+        help="serve-bench: batch sizes to sweep (default: 16 64 256 1024)",
+    )
+    parser.add_argument(
+        "--no-cache",
+        action="store_true",
+        help=(
+            "serve-bench: measure only the memoization-free baseline "
+            "(the 'before' path) instead of fast-path-vs-baseline"
+        ),
+    )
+    parser.add_argument(
+        "--repeats",
+        type=int,
+        default=3,
+        help="serve-bench: wall-clock repeats per point (best-of, default 3)",
+    )
+    parser.add_argument(
+        "--json",
+        help="serve-bench: output path for BENCH_serving.json "
+        "(default: repo root)",
     )
     args = parser.parse_args(argv)
 
     framework = NdftFramework()
-    names = sorted(_COMMANDS) if args.artifact == "all" else [args.artifact]
+    names = (
+        sorted(name for name in _COMMANDS if name not in _EXCLUDED_FROM_ALL)
+        if args.artifact == "all"
+        else [args.artifact]
+    )
     for name in names:
         print(f"\n===== {name} =====")
         print(_COMMANDS[name](args, framework))

@@ -20,6 +20,20 @@ front-end: it schedules a batch of heterogeneous problem sizes and
 executes them concurrently through one shared engine, reporting per-job
 completion times plus aggregate makespan and throughput — the serving
 mode a DFT-as-a-service deployment runs in.
+
+Serving fast path: every artifact the framework derives per job — the
+built pipeline, the cost-aware schedule, the SCA reports, and the
+standalone (solo) DES report — is a pure function of the job's
+content-addressed :class:`~repro.core.signature.JobSignature`, so the
+framework memoizes all four.  ``run_many([512] * 256)`` schedules,
+analyzes and solo-times the 512-atom job exactly once; only the shared
+batch simulation still sees all 256 jobs (their completion times differ
+through contention).  The caches live on the framework, compose across
+calls, and are dropped whenever :meth:`NdftFramework.register_target`
+changes the machine registry.  ``NdftFramework(memoize=False)`` is the
+escape hatch that re-derives everything per job — the serving benchmark
+(:mod:`repro.experiments.scale_serving`) uses it as the "before"
+measurement and asserts the results are identical either way.
 """
 
 from __future__ import annotations
@@ -37,9 +51,12 @@ from repro.core.pipeline import Pipeline, build_pipeline
 from repro.core.sca import ScaReport, StaticCodeAnalyzer
 from repro.core.scheduler import (
     CostAwareScheduler,
+    ExecutionTarget,
+    Placement,
     Schedule,
     SchedulingPolicy,
 )
+from repro.core.signature import JobSignature, job_signature
 from repro.dft.workload import ProblemSize, problem_size
 from repro.hw.config import SystemConfig, gpu_baseline_config, ndft_system_config
 from repro.hw.cpu import CpuModel
@@ -148,9 +165,30 @@ class NdftFramework:
         system: SystemConfig | None = None,
         policy: SchedulingPolicy = SchedulingPolicy.COST_AWARE,
         enable_gpu: bool = False,
+        memoize: bool = True,
     ):
         self.system = system or ndft_system_config()
         self.policy = policy
+        #: Serving fast path: memoize pipelines/schedules/SCA/solo reports
+        #: by content-addressed job signature.  ``False`` re-derives
+        #: everything per job (the benchmark's uncached baseline).
+        self.memoize = memoize
+        self._pipeline_cache: dict[tuple, Pipeline] = {}
+        self._schedule_cache: dict[JobSignature, Schedule] = {}
+        self._solo_report_cache: dict[JobSignature, ExecutionReport] = {}
+        self._sca_cache: dict[str, dict[str, ScaReport]] = {}
+        #: Per-cache hit/miss counters (observability for the serving
+        #: benchmark and the memoization tests).
+        self.cache_stats = {
+            "pipeline_hits": 0,
+            "pipeline_misses": 0,
+            "schedule_hits": 0,
+            "schedule_misses": 0,
+            "solo_hits": 0,
+            "solo_misses": 0,
+            "sca_hits": 0,
+            "sca_misses": 0,
+        }
         self.host = CpuModel(self.system.host)
         self.ndp = NdpSystemModel(self.system.ndp)
         self.gpu = GpuModel(gpu_baseline_config()) if enable_gpu else None
@@ -202,6 +240,41 @@ class NdftFramework:
         )
 
     # ------------------------------------------------------------------
+    # Target registry + caches
+    # ------------------------------------------------------------------
+    def register_target(
+        self, placement: Placement, machine: ExecutionTarget
+    ) -> None:
+        """Add (or replace) an execution target and invalidate every
+        memoized artifact: schedules, solo reports and built pipelines
+        minted against the old registry must not survive it.
+
+        Link pricing caveat: the cost model's per-pair ``device_links``
+        are fixed at construction, so boundaries to a machine registered
+        here are priced on the default CPU<->NDP host link unless the
+        framework was built with the matching wires (e.g. a GPU should
+        be enabled via ``NdftFramework(enable_gpu=True)``, which installs
+        the PCIe and serial NDP<->GPU links, rather than registered after
+        the fact)."""
+        self.scheduler.register_target(placement, machine)
+        self.clear_caches()
+
+    def clear_caches(self) -> None:
+        """Drop every memoized pipeline/schedule/SCA/solo-report entry
+        (hit/miss counters are preserved)."""
+        self._pipeline_cache.clear()
+        self._schedule_cache.clear()
+        self._solo_report_cache.clear()
+        self._sca_cache.clear()
+
+    def job_signature(self, pipeline: Pipeline) -> JobSignature:
+        """The content-addressed key this framework memoizes ``pipeline``
+        under (problem + structure + policy + targets + cost model)."""
+        return job_signature(
+            pipeline, self.policy, self.scheduler, self.cost_model
+        )
+
+    # ------------------------------------------------------------------
     # Single job
     # ------------------------------------------------------------------
     def run(
@@ -213,8 +286,9 @@ class NdftFramework:
         """Schedule + execute LR-TDDFT for Si_{n_atoms} on the CPU-NDP
         system and account its memory."""
         problem, pipeline = self._resolve_job(n_atoms, problem, pipeline)
-        schedule = self.scheduler.schedule(pipeline, self.policy)
-        report = self.executor.execute(pipeline, schedule)
+        signature = self.job_signature(pipeline) if self.memoize else None
+        schedule = self._schedule_for(pipeline, signature)
+        report = self._solo_report(pipeline, schedule, signature)
         return self._run_result(problem, pipeline, schedule, report)
 
     # ------------------------------------------------------------------
@@ -235,32 +309,38 @@ class NdftFramework:
         placements use different devices at different times genuinely
         overlap.  ``pipeline_builder`` overrides the Fig. 1 chain for
         entries given as sizes (e.g. ``build_kpoint_pipeline``).
+
+        With memoization on (the default), duplicate jobs in the batch
+        are deduplicated through the signature caches: each distinct
+        signature is built, scheduled, analyzed and solo-timed once, and
+        only the shared-machine simulation sees every submitted job.
         """
         if not batch:
             raise ValueError("run_many needs at least one job")
         builder = pipeline_builder or build_pipeline
-        jobs: list[tuple[ProblemSize, Pipeline, Schedule]] = []
+        jobs: list[tuple[ProblemSize, Pipeline, Schedule, JobSignature | None]] = []
         for entry in batch:
             if isinstance(entry, Pipeline):
                 problem, pipeline = entry.problem, entry
             elif isinstance(entry, ProblemSize):
-                problem, pipeline = entry, builder(entry)
+                problem, pipeline = entry, self._build_pipeline(entry, builder)
             else:
                 problem = problem_size(entry)
-                pipeline = builder(problem)
-            schedule = self.scheduler.schedule(pipeline, self.policy)
-            jobs.append((problem, pipeline, schedule))
+                pipeline = self._build_pipeline(problem, builder)
+            signature = self.job_signature(pipeline) if self.memoize else None
+            schedule = self._schedule_for(pipeline, signature)
+            jobs.append((problem, pipeline, schedule, signature))
 
         batch_report = self.executor.execute_many(
-            [(pipeline, schedule) for _problem, pipeline, schedule in jobs]
+            [(pipeline, schedule) for _p, pipeline, schedule, _s in jobs]
         )
         solo_times = tuple(
-            self.executor.execute(pipeline, schedule).total_time
-            for _problem, pipeline, schedule in jobs
+            self._solo_report(pipeline, schedule, signature).total_time
+            for _p, pipeline, schedule, signature in jobs
         )
         results = tuple(
             self._run_result(problem, pipeline, schedule, report)
-            for (problem, pipeline, schedule), report in zip(
+            for (problem, pipeline, schedule, _s), report in zip(
                 jobs, batch_report.job_reports
             )
         )
@@ -284,7 +364,79 @@ class NdftFramework:
                 problem = problem_size(n_atoms)
             else:
                 raise ValueError("pass n_atoms, problem or pipeline")
-        return problem, pipeline or build_pipeline(problem)
+        return problem, pipeline or self._build_pipeline(problem, build_pipeline)
+
+    def _build_pipeline(
+        self,
+        problem: ProblemSize,
+        builder: Callable[[ProblemSize], Pipeline],
+    ) -> Pipeline:
+        """Build (or reuse) the pipeline for one problem/builder pair.
+        Sharing the built object also shares its cached structural hash,
+        so duplicate batch entries hash once."""
+        if not self.memoize:
+            return builder(problem)
+        key = (problem, builder)
+        pipeline = self._pipeline_cache.get(key)
+        if pipeline is None:
+            self.cache_stats["pipeline_misses"] += 1
+            pipeline = builder(problem)
+            self._pipeline_cache[key] = pipeline
+        else:
+            self.cache_stats["pipeline_hits"] += 1
+        return pipeline
+
+    def _schedule_for(
+        self, pipeline: Pipeline, signature: JobSignature | None
+    ) -> Schedule:
+        if signature is None:
+            return self.scheduler.schedule(pipeline, self.policy)
+        schedule = self._schedule_cache.get(signature)
+        if schedule is None:
+            self.cache_stats["schedule_misses"] += 1
+            schedule = self.scheduler.schedule(pipeline, self.policy)
+            self._schedule_cache[signature] = schedule
+        else:
+            self.cache_stats["schedule_hits"] += 1
+        return schedule
+
+    def _solo_report(
+        self,
+        pipeline: Pipeline,
+        schedule: Schedule,
+        signature: JobSignature | None,
+    ) -> ExecutionReport:
+        """The job's standalone (dedicated-machine) DES report."""
+        if signature is None:
+            return self.executor.execute(pipeline, schedule)
+        report = self._solo_report_cache.get(signature)
+        if report is None:
+            self.cache_stats["solo_misses"] += 1
+            report = self.executor.execute(pipeline, schedule)
+            self._solo_report_cache[signature] = report
+        else:
+            self.cache_stats["solo_hits"] += 1
+        return report
+
+    def _sca_reports(self, pipeline: Pipeline) -> dict[str, ScaReport]:
+        """SCA verdicts for every stage function.  Keyed by structural
+        hash alone: the analyzer sees only the pipeline and the rooflines
+        fixed at construction, never the target registry."""
+        if not self.memoize:
+            return self.sca.analyze_all(
+                [stage.function for stage in pipeline.stages]
+            )
+        key = pipeline.structural_hash
+        reports = self._sca_cache.get(key)
+        if reports is None:
+            self.cache_stats["sca_misses"] += 1
+            reports = self.sca.analyze_all(
+                [stage.function for stage in pipeline.stages]
+            )
+            self._sca_cache[key] = reports
+        else:
+            self.cache_stats["sca_hits"] += 1
+        return reports
 
     def _run_result(
         self,
@@ -293,9 +445,7 @@ class NdftFramework:
         schedule: Schedule,
         report: ExecutionReport,
     ) -> NdftRunResult:
-        sca_reports = self.sca.analyze_all(
-            [stage.function for stage in pipeline.stages]
-        )
+        sca_reports = self._sca_reports(pipeline)
         return NdftRunResult(
             problem=problem,
             schedule=schedule,

@@ -29,6 +29,7 @@ when a placement boundary cuts the edge.
 
 from __future__ import annotations
 
+import hashlib
 from collections import deque
 from dataclasses import dataclass
 
@@ -173,6 +174,66 @@ class Pipeline:
             len(self._in_edges[n]) <= 1 and len(self._out_edges[n]) <= 1
             for n in self._topo_order
         )
+
+    @property
+    def structural_hash(self) -> str:
+        """Content hash of everything scheduling/execution can observe.
+
+        Covers the problem dimensions, every stage's workload numbers and
+        live-in/out sets, and the byte-weighted edge list — so two
+        pipelines built for the same problem by the same builder hash
+        equal, while any change to a workload coefficient, edge weight or
+        graph shape changes the hash.  This is the content-addressed key
+        the serving fast path memoizes schedules, SCA reports and solo
+        makespans under (:mod:`repro.core.signature`).
+
+        Floats are folded in via ``repr`` (exact round-trip), so the hash
+        distinguishes values that differ in any bit.
+        """
+        try:
+            return self._structural_hash
+        except AttributeError:
+            pass
+        digest = hashlib.sha256()
+        p = self.problem
+        digest.update(
+            repr(
+                (
+                    p.n_atoms,
+                    p.grid_side,
+                    p.n_valence,
+                    p.n_conduction,
+                    p.n_active_valence,
+                    p.n_active_conduction,
+                )
+            ).encode()
+        )
+        for stage in self.stages:
+            w = stage.workload
+            digest.update(
+                repr(
+                    (
+                        stage.name,
+                        str(w.name),
+                        w.flops,
+                        w.bytes_read,
+                        w.bytes_written,
+                        w.comm_bytes,
+                        w.working_set,
+                        w.footprint,
+                        w.access_pattern.value,
+                        w.parallel_tasks,
+                        stage.function.live_in_bytes,
+                        stage.function.live_out_bytes,
+                        len(stage.function.segments),
+                    )
+                ).encode()
+            )
+        for edge in self.edges:
+            digest.update(repr((edge.src, edge.dst, edge.nbytes)).encode())
+        value = digest.hexdigest()
+        object.__setattr__(self, "_structural_hash", value)
+        return value
 
     def critical_path_length(self, node_weight) -> float:
         """Longest path through the DAG, nodes weighted by

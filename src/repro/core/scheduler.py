@@ -126,6 +126,10 @@ class CostAwareScheduler:
         init=False, repr=False, default_factory=dict
     )
     _time_cache: dict = field(default_factory=dict, repr=False)
+    #: Bumped on every ``register_target`` call; stands in for the machine
+    #: objects in :func:`repro.core.signature.target_registry_fingerprint`
+    #: so memoized schedules never outlive a registry change.
+    registry_version: int = field(init=False, default=0, repr=False)
 
     def __post_init__(self) -> None:
         self._targets = {Placement.CPU: self.host, Placement.NDP: self.ndp}
@@ -152,8 +156,11 @@ class CostAwareScheduler:
         self, placement: Placement, machine: ExecutionTarget
     ) -> None:
         """Add (or replace) an execution target.  Cached stage times for
-        the slot are dropped so a swapped machine re-times cleanly."""
+        the slot are dropped so a swapped machine re-times cleanly, and
+        the registry version is bumped so signature-keyed caches above
+        this layer invalidate too."""
         self._targets[placement] = machine
+        self.registry_version += 1
         self._time_cache = {
             key: value
             for key, value in self._time_cache.items()
@@ -331,25 +338,46 @@ GRANULARITY_CROSSINGS_PER_STAGE = {
 }
 
 
+def best_homogeneous_schedule(
+    pipeline: Pipeline, scheduler: CostAwareScheduler
+) -> Schedule:
+    """The cheapest single-target placement over the registered targets —
+    the schedule whole-kernel offloading is charged as (one boundary-free
+    region must live entirely on one machine)."""
+    candidates = [
+        scheduler.evaluate(
+            pipeline, {name: target for name in pipeline.stage_names}
+        )
+        for target in scheduler.targets
+    ]
+    return min(candidates, key=lambda schedule: schedule.predicted_total)
+
+
 def granularity_overheads(
     pipeline: Pipeline,
     scheduler: CostAwareScheduler,
 ) -> dict[str, float]:
-    """Eq. 1 overhead each offload granularity would pay for the placement
-    the cost-aware scheduler chose.
+    """Eq. 1 overhead each offload granularity would pay.
 
-    Finer granularities split each crossing edge's payload across many
-    boundary crossings: the DT total stays (same bytes overall) but each
-    crossing re-pays latency + CXT, which is what makes instruction- and
-    block-level offloading unattractive (paper observation 1 in §IV-A1).
+    Instruction/block/function granularities pay for the placement the
+    cost-aware scheduler chose: finer granularities split each crossing
+    edge's payload across many boundary crossings — the DT total stays
+    (same bytes overall) but each crossing re-pays latency + CXT, which
+    is what makes instruction- and block-level offloading unattractive
+    (paper observation 1 in §IV-A1).
+
+    Kernel granularity cannot cross at all, so it forfeits heterogeneity:
+    it is charged as the best *homogeneous* schedule
+    (:func:`best_homogeneous_schedule`), whose Eq. 1 overhead is zero by
+    construction — no edge crosses a placement boundary.  Its runtime
+    penalty shows up in ``predicted_total``, not here.
     """
     base = scheduler.schedule(pipeline, SchedulingPolicy.COST_AWARE)
     results: dict[str, float] = {}
     for granularity, crossings in GRANULARITY_CROSSINGS_PER_STAGE.items():
         if crossings == 0:
-            # Whole-kernel offload: no boundaries, but also no
-            # heterogeneity: charged as the best homogeneous schedule.
-            results[granularity] = 0.0
+            homogeneous = best_homogeneous_schedule(pipeline, scheduler)
+            results[granularity] = homogeneous.scheduling_overhead
             continue
         overhead = 0.0
         for nbytes, pair in zip(base.crossing_bytes, base.crossing_pairs):

@@ -13,6 +13,23 @@ Supported commands (yield values):
 - ``resource.acquire()`` — resume once a unit of the resource is granted.
 - ``resource.release()`` — give a unit back (resumes a waiter if any).
 - another :class:`SimProcess` — resume when that process finishes.
+
+The hot loop is deliberately allocation-lean: at serving scale
+(:meth:`repro.core.executor.PipelineExecutor.execute_many` with hundreds
+of jobs) the simulator itself, not the modeled hardware, becomes the
+bottleneck, so
+
+- every participant class uses ``__slots__`` (no per-instance dict),
+- heap entries are plain ``(time, seq, process)`` tuples — no closure is
+  allocated per event, and the ``seq`` tie-breaker doubles as the FIFO
+  guarantee for same-time events,
+- the run loop steps generators and handles all commands inline,
+  dispatching on the yielded object's class instead of walking an
+  ``isinstance`` chain through helper calls per yield.
+
+Event *ordering* is part of the engine's contract: same-time events run
+in schedule order (monotonic ``seq``), so resource grants are FIFO and
+repeated runs of the same job set are bit-identical.
 """
 
 from __future__ import annotations
@@ -20,40 +37,69 @@ from __future__ import annotations
 import heapq
 import itertools
 from collections import deque
-from dataclasses import dataclass, field
-from typing import Callable, Generator
+from typing import Generator
 
 from repro.errors import SimulationError
 
 
-@dataclass(frozen=True)
 class Timeout:
     """Command: suspend the process for ``delay`` virtual seconds."""
 
-    delay: float
+    __slots__ = ("delay",)
 
-    def __post_init__(self) -> None:
-        if self.delay < 0:
-            raise SimulationError(f"negative timeout: {self.delay}")
+    def __init__(self, delay: float):
+        if delay < 0:
+            raise SimulationError(f"negative timeout: {delay}")
+        self.delay = delay
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Timeout({self.delay!r})"
 
 
-@dataclass(frozen=True)
 class Acquire:
-    resource: "Resource"
+    """Command: wait for one unit of ``resource``."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        self.resource = resource
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Acquire({self.resource.name!r})"
 
 
-@dataclass(frozen=True)
 class Release:
-    resource: "Resource"
+    """Command: give one unit of ``resource`` back."""
+
+    __slots__ = ("resource",)
+
+    def __init__(self, resource: "Resource"):
+        self.resource = resource
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Release({self.resource.name!r})"
 
 
 Command = Timeout | Acquire | Release
 
 
 class Resource:
-    """A counted resource (e.g. an execution unit or a link)."""
+    """A counted resource (e.g. an execution unit or a link).
 
-    def __init__(self, engine: "Engine", capacity: int, name: str = "resource"):
+    Waiters are granted strictly FIFO: a release hands the unit to the
+    longest-waiting process (``deque.popleft``), never to a later
+    arrival.
+    """
+
+    __slots__ = ("engine", "capacity", "name", "in_use", "waiters", "usage_log")
+
+    def __init__(
+        self,
+        engine: "Engine",
+        capacity: int,
+        name: str = "resource",
+        log_usage: bool = True,
+    ):
         if capacity < 1:
             raise SimulationError(f"resource capacity must be >= 1, got {capacity}")
         self.engine = engine
@@ -61,8 +107,13 @@ class Resource:
         self.name = name
         self.in_use = 0
         self.waiters: deque[SimProcess] = deque()
-        #: (time, in_use) samples for utilization reporting.
-        self.usage_log: list[tuple[float, int]] = []
+        #: (time, in_use) samples for utilization reporting, or ``None``
+        #: when sampling is disabled (``log_usage=False``) — consumers
+        #: that never read :meth:`busy_time` save one tuple + list append
+        #: per acquire/release, which adds up at batch-serving scale.
+        self.usage_log: list[tuple[float, int]] | None = (
+            [] if log_usage else None
+        )
 
     def acquire(self) -> Acquire:
         return Acquire(self)
@@ -70,11 +121,15 @@ class Resource:
     def release(self) -> Release:
         return Release(self)
 
-    def _log(self) -> None:
-        self.usage_log.append((self.engine.now, self.in_use))
-
     def busy_time(self) -> float:
-        """Resource-seconds of occupancy integrated over the log."""
+        """Resource-seconds of occupancy integrated over the log.
+
+        Raises :class:`SimulationError` when usage sampling was disabled
+        at construction (there is nothing to integrate)."""
+        if self.usage_log is None:
+            raise SimulationError(
+                f"resource {self.name!r} was created with log_usage=False"
+            )
         total = 0.0
         for (t0, used), (t1, _unused) in zip(self.usage_log, self.usage_log[1:]):
             total += used * (t1 - t0)
@@ -83,6 +138,8 @@ class Resource:
 
 class SimProcess:
     """One running generator inside the engine."""
+
+    __slots__ = ("engine", "generator", "name", "finished", "finish_time", "watchers")
 
     _ids = itertools.count()
 
@@ -100,11 +157,13 @@ class SimProcess:
 
 
 class Engine:
-    """The event loop: a heap of (time, seq, callback)."""
+    """The event loop: a heap of (time, seq, process) resumptions."""
+
+    __slots__ = ("now", "_heap", "_seq", "_active")
 
     def __init__(self) -> None:
         self.now = 0.0
-        self._heap: list[tuple[float, int, Callable[[], None]]] = []
+        self._heap: list[tuple[float, int, SimProcess]] = []
         self._seq = itertools.count()
         self._active = 0
 
@@ -115,14 +174,16 @@ class Engine:
     def timeout(delay: float) -> Timeout:
         return Timeout(delay)
 
-    def resource(self, capacity: int, name: str = "resource") -> Resource:
-        return Resource(self, capacity, name)
+    def resource(
+        self, capacity: int, name: str = "resource", log_usage: bool = True
+    ) -> Resource:
+        return Resource(self, capacity, name, log_usage)
 
     def spawn(self, generator: Generator, name: str = "") -> SimProcess:
         """Register a process; it starts when :meth:`run` is (re)entered."""
         process = SimProcess(self, generator, name)
         self._active += 1
-        self._schedule(0.0, lambda: self._step(process, None))
+        heapq.heappush(self._heap, (self.now, next(self._seq), process))
         return process
 
     def run(self, until: float | None = None) -> float:
@@ -131,17 +192,74 @@ class Engine:
         Raises :class:`SimulationError` if processes remain blocked when
         the heap empties (a deadlock: someone waits on a resource nobody
         releases).
+
+        The loop body handles every command inline rather than routing
+        each event through per-command handler calls: at serving scale
+        the engine takes tens of thousands of steps per batch, and call
+        overhead is the dominant simulator cost.  Ordering contract:
+        every resumption is pushed at the current time with a fresh
+        monotonic ``seq``, so same-time events run in schedule order —
+        resource grants are FIFO and repeated runs are bit-identical.
         """
-        while self._heap:
-            time, _seq, callback = heapq.heappop(self._heap)
+        heap = self._heap
+        pop = heapq.heappop
+        push = heapq.heappush
+        seq = self._seq
+        while heap:
+            entry = pop(heap)
+            time = entry[0]
             if until is not None and time > until:
-                heapq.heappush(self._heap, (time, _seq, callback))
+                push(heap, entry)
                 self.now = until
                 return self.now
             if time < self.now - 1e-18:
                 raise SimulationError("event scheduled in the past")
             self.now = time
-            callback()
+            process = entry[2]
+            try:
+                command = process.generator.send(None)
+            except StopIteration:
+                self._finish(process)
+                continue
+            cls = command.__class__
+            if cls is Timeout:
+                push(heap, (time + command.delay, next(seq), process))
+            elif cls is Acquire:
+                resource = command.resource
+                if resource.in_use < resource.capacity:
+                    resource.in_use += 1
+                    if resource.usage_log is not None:
+                        resource.usage_log.append((time, resource.in_use))
+                    push(heap, (time, next(seq), process))
+                else:
+                    resource.waiters.append(process)
+            elif cls is Release:
+                resource = command.resource
+                if resource.in_use <= 0:
+                    raise SimulationError(
+                        f"release of idle resource {resource.name!r}"
+                    )
+                if resource.waiters:
+                    waiter = resource.waiters.popleft()
+                    if resource.usage_log is not None:
+                        # occupancy unchanged; sample the handover time
+                        resource.usage_log.append((time, resource.in_use))
+                    push(heap, (time, next(seq), waiter))
+                else:
+                    resource.in_use -= 1
+                    if resource.usage_log is not None:
+                        resource.usage_log.append((time, resource.in_use))
+                push(heap, (time, next(seq), process))
+            elif isinstance(command, SimProcess):
+                if command.finished:
+                    push(heap, (time, next(seq), process))
+                else:
+                    command.watchers.append(process)
+            else:
+                raise SimulationError(
+                    f"process {process.name!r} yielded unsupported command "
+                    f"{command!r}"
+                )
         if self._active:
             raise SimulationError(
                 f"deadlock: {self._active} process(es) still blocked at "
@@ -152,58 +270,13 @@ class Engine:
     # ------------------------------------------------------------------
     # Internals
     # ------------------------------------------------------------------
-    def _schedule(self, delay: float, callback: Callable[[], None]) -> None:
-        heapq.heappush(self._heap, (self.now + delay, next(self._seq), callback))
-
-    def _step(self, process: SimProcess, value) -> None:
-        """Advance one process until it blocks or finishes."""
-        try:
-            command = process.generator.send(value)
-        except StopIteration:
-            self._finish(process)
-            return
-        self._dispatch(process, command)
-
-    def _dispatch(self, process: SimProcess, command) -> None:
-        if isinstance(command, Timeout):
-            self._schedule(command.delay, lambda: self._step(process, None))
-        elif isinstance(command, Acquire):
-            resource = command.resource
-            if resource.in_use < resource.capacity:
-                resource.in_use += 1
-                resource._log()
-                self._schedule(0.0, lambda: self._step(process, None))
-            else:
-                resource.waiters.append(process)
-        elif isinstance(command, Release):
-            resource = command.resource
-            if resource.in_use <= 0:
-                raise SimulationError(
-                    f"release of idle resource {resource.name!r}"
-                )
-            if resource.waiters:
-                waiter = resource.waiters.popleft()
-                resource._log()  # occupancy unchanged, but sample the time
-                self._schedule(0.0, lambda: self._step(waiter, None))
-            else:
-                resource.in_use -= 1
-                resource._log()
-            self._schedule(0.0, lambda: self._step(process, None))
-        elif isinstance(command, SimProcess):
-            if command.finished:
-                self._schedule(0.0, lambda: self._step(process, None))
-            else:
-                command.watchers.append(process)
-        else:
-            raise SimulationError(
-                f"process {process.name!r} yielded unsupported command "
-                f"{command!r}"
-            )
-
     def _finish(self, process: SimProcess) -> None:
         process.finished = True
         process.finish_time = self.now
         self._active -= 1
+        heap = self._heap
+        seq = self._seq
+        now = self.now
         for watcher in process.watchers:
-            self._schedule(0.0, lambda w=watcher: self._step(w, None))
+            heapq.heappush(heap, (now, next(seq), watcher))
         process.watchers.clear()

@@ -10,6 +10,7 @@ from repro.core.scheduler import (
     GRANULARITY_CROSSINGS_PER_STAGE,
     Placement,
     SchedulingPolicy,
+    best_homogeneous_schedule,
     granularity_overheads,
 )
 from repro.dft.workload import problem_size
@@ -130,3 +131,33 @@ class TestGranularity:
     def test_crossing_table_shape(self):
         assert GRANULARITY_CROSSINGS_PER_STAGE["function"] == 1
         assert GRANULARITY_CROSSINGS_PER_STAGE["kernel"] == 0
+
+    def test_kernel_charged_as_best_homogeneous_schedule(
+        self, scheduler, pipeline_large
+    ):
+        """Whole-kernel offload is charged as the cheapest single-target
+        placement (as the docstring promises): its Eq. 1 overhead is that
+        schedule's overhead — zero by construction, since a homogeneous
+        placement crosses no boundary — while the forfeited heterogeneity
+        shows up in the homogeneous schedule's higher predicted total."""
+        overheads = granularity_overheads(pipeline_large, scheduler)
+        homogeneous = best_homogeneous_schedule(pipeline_large, scheduler)
+        assert overheads["kernel"] == homogeneous.scheduling_overhead == 0.0
+        assert len(homogeneous.placements_used) == 1
+        cost_aware = scheduler.schedule(
+            pipeline_large, SchedulingPolicy.COST_AWARE
+        )
+        assert homogeneous.predicted_total > cost_aware.predicted_total
+
+    def test_best_homogeneous_picks_cheapest_target(
+        self, scheduler, pipeline_large
+    ):
+        homogeneous = best_homogeneous_schedule(pipeline_large, scheduler)
+        per_target = {
+            target: scheduler.evaluate(
+                pipeline_large,
+                {name: target for name in pipeline_large.stage_names},
+            ).predicted_total
+            for target in scheduler.targets
+        }
+        assert homogeneous.predicted_total == min(per_target.values())

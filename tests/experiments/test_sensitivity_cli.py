@@ -91,6 +91,62 @@ class TestCli:
         out = capsys.readouterr().out
         assert "Si_64" in out and "Si_256" in out and "makespan" in out
 
+    @pytest.mark.parametrize("policy", ["cost_aware", "naive", "all_cpu", "all_ndp"])
+    def test_batch_policy_flag(self, capsys, policy):
+        assert main(["batch", "--atoms", "64", "--policy", policy]) == 0
+        out = capsys.readouterr().out
+        assert f"scheduling policy: {policy}" in out
+
+    def test_batch_policy_all_cpu_loses_batching_overlap(self, capsys):
+        """All-CPU serializes everything on one device: the makespan
+        degenerates to the serial time (speedup 1.00x), which is exactly
+        the comparison the flag exists to expose."""
+        assert main(["batch", "--atoms", "64", "512", "--policy", "all_cpu"]) == 0
+        assert "1.00x vs serial" in capsys.readouterr().out
+
+    def test_batch_rejects_unknown_policy(self):
+        with pytest.raises(SystemExit):
+            main(["batch", "--policy", "nonsense"])
+
+    def test_serve_bench(self, capsys, tmp_path):
+        json_path = tmp_path / "BENCH_serving.json"
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--batch-sizes", "4", "8",
+                    "--repeats", "1",
+                    "--json", str(json_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "jobs/s" in out and "speedup" in out
+        assert json_path.exists()
+
+    def test_serve_bench_no_cache(self, capsys, tmp_path):
+        json_path = tmp_path / "BENCH_serving.json"
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--batch-sizes", "4",
+                    "--repeats", "1",
+                    "--no-cache",
+                    "--json", str(json_path),
+                ]
+            )
+            == 0
+        )
+        assert "baseline (--no-cache)" in capsys.readouterr().out
+
+    def test_all_excludes_serve_bench(self):
+        from repro.cli import _COMMANDS, _EXCLUDED_FROM_ALL
+
+        assert "serve-bench" in _COMMANDS
+        assert "serve-bench" in _EXCLUDED_FROM_ALL
+
     def test_rejects_unknown_artifact(self):
         with pytest.raises(SystemExit):
             main(["nonsense"])
