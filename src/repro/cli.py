@@ -11,6 +11,7 @@ Regenerates any of the paper's artifacts from a shell:
     python -m repro sensitivity   # design-space sweeps (extension)
     python -m repro batch --atoms 64 64 512 1024   # batched serving (extension)
     python -m repro batch --policy all_cpu         # ... under another scheduler
+    python -m repro batch --arrival-rate 2.0       # ... as an open queue
     python -m repro serve-bench   # wall-clock serving throughput sweep
     python -m repro all           # everything, in paper order
 
@@ -149,11 +150,19 @@ def _batch(args, framework) -> str:
         framework = NdftFramework(policy=policy)
     sizes = tuple(args.atoms) if args.atoms else DEFAULT_BATCH_SIZES
     header = f"scheduling policy: {policy.value}\n"
-    return header + format_batch(run_batch_study(sizes, framework))
+    return header + format_batch(
+        run_batch_study(
+            sizes,
+            framework,
+            arrival_rate=args.arrival_rate,
+            arrival_seed=args.arrival_seed,
+        )
+    )
 
 
 def _serve_bench(args, _framework) -> str:
     from repro.experiments.scale_serving import (
+        DEFAULT_ARRIVAL_RATE,
         DEFAULT_BATCH_SIZES,
         DEFAULT_MIX,
         format_serve_bench,
@@ -165,11 +174,16 @@ def _serve_bench(args, _framework) -> str:
     )
     mix = tuple(args.atoms) if args.atoms else DEFAULT_MIX
     cached = not args.no_cache
+    arrival_rate = (
+        DEFAULT_ARRIVAL_RATE if args.arrival_rate is None else args.arrival_rate
+    )
     report = run_serve_bench(
         batch_sizes=batch_sizes,
         mix=mix,
         repeats=args.repeats,
         cached=cached,
+        arrival_rate=arrival_rate,
+        arrival_seed=args.arrival_seed,
     )
     path = report.write_json(args.json) if args.json else report.write_json()
     return format_serve_bench(report, cached=cached) + f"\nwrote {path}"
@@ -238,6 +252,23 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=3,
         help="serve-bench: wall-clock repeats per point (best-of, default 3)",
+    )
+    parser.add_argument(
+        "--arrival-rate",
+        type=float,
+        default=None,
+        help=(
+            "open-queue serving: release jobs by a seeded Poisson process "
+            "at this offered load (jobs per second of virtual time). "
+            "batch: off unless given; serve-bench: defaults to 2.0, "
+            "pass 0 to disable the open-queue measurement"
+        ),
+    )
+    parser.add_argument(
+        "--arrival-seed",
+        type=int,
+        default=0,
+        help="seed for the Poisson arrival process (default 0)",
     )
     parser.add_argument(
         "--json",

@@ -15,13 +15,21 @@
   paper's LR-TDDFT chain plus branching (k-point) variants.
 - :mod:`repro.core.executor` — maps schedules onto the machine models via
   the discrete-event engine: DAG-aware waits, branch overlap on distinct
-  devices, and batched multi-job execution on one shared machine.
+  devices, and batched multi-job execution on one shared machine, scaled
+  out through signature-coalesced super-jobs and contention-sharded
+  engines (bit-identical to the plain shared engine).
+- :mod:`repro.core.arrivals` — arrival processes (seeded Poisson) and
+  latency percentiles for the open-queue serving model.
+- :mod:`repro.core.signature` / :mod:`repro.core.lru` — content-addressed
+  job signatures and the bounded LRU caches they key.
 - :mod:`repro.core.framework` — the end-to-end NDFT driver (single jobs
   and concurrent batches).
 - :mod:`repro.core.baselines` — CPU-only and GPU execution models.
 """
 
+from repro.core.arrivals import percentile, poisson_arrivals
 from repro.core.ir import CodeSegment, KernelFunction
+from repro.core.lru import LruCache
 from repro.core.sca import ScaReport, StaticCodeAnalyzer
 from repro.core.cost_model import OffloadCostModel
 from repro.core.pipeline import (
@@ -46,6 +54,9 @@ from repro.core.framework import NdftBatchResult, NdftFramework, NdftRunResult
 from repro.core.baselines import run_cpu_baseline, run_gpu_baseline
 
 __all__ = [
+    "percentile",
+    "poisson_arrivals",
+    "LruCache",
     "CodeSegment",
     "KernelFunction",
     "ScaReport",

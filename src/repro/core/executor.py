@@ -31,14 +31,14 @@ timing model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from typing import Callable, Sequence
 
 from repro.core.cost_model import OffloadCostModel
 from repro.core.pipeline import Pipeline
 from repro.core.scheduler import Placement, Schedule
 from repro.errors import SimulationError
-from repro.hw.engine import Engine, Resource, SimProcess
+from repro.hw.engine import Engine, Resource, SimProcess, replay_chain_batch
 from repro.hw.timing import PhaseTime
 
 #: Trace callback: (lane, label, start_seconds, end_seconds).
@@ -86,14 +86,35 @@ class ExecutionReport:
 
 @dataclass(frozen=True)
 class BatchExecutionReport:
-    """Result of executing a batch of jobs on one shared machine."""
+    """Result of executing a batch of jobs on one shared machine.
+
+    ``arrivals`` is the per-job release offset when the batch ran as an
+    open queue (``None`` for the classic everyone-at-t=0 closed batch).
+    ``n_shards``/``n_superjobs`` are observability for the scale-out
+    fast path: how many independent contention shards the batch split
+    into and how many signature-coalesced super-jobs they contained
+    (0 when every shard took the uncollapsed engine path).
+    """
 
     job_reports: tuple[ExecutionReport, ...]
     makespan: float
+    arrivals: tuple[float, ...] | None = None
+    n_shards: int = 1
+    n_superjobs: int = 0
 
     @property
     def n_jobs(self) -> int:
         return len(self.job_reports)
+
+    @property
+    def completion_latencies(self) -> tuple[float, ...]:
+        """Per-job completion minus release (== completion at t=0)."""
+        if self.arrivals is None:
+            return tuple(r.total_time for r in self.job_reports)
+        return tuple(
+            report.total_time - arrival
+            for report, arrival in zip(self.job_reports, self.arrivals)
+        )
 
     @property
     def throughput(self) -> float:
@@ -151,6 +172,23 @@ class PipelineExecutor:
         overlap on distinct devices — those must go through the DES."""
         return pipeline.is_chain and len(pipeline.entry_stages) == 1
 
+    def _eq1_overhead(self, pipeline: Pipeline, schedule: Schedule) -> float:
+        """The job's total Eq. 1 overhead, summed in ``pipeline.edges``
+        order — the float-summation order is load-bearing: it must match
+        the scheduler's exactly (and does, cross-checked here against
+        ``schedule.scheduling_overhead``), so every executor path prices
+        boundaries through this one helper."""
+        overhead_total = 0.0
+        for edge in pipeline.edges:
+            src = schedule.assignments[edge.src]
+            dst = schedule.assignments[edge.dst]
+            if src is not dst:
+                overhead_total += self.cost_model.boundary_cost(
+                    edge.nbytes, (src, dst)
+                )
+        self._check_overhead(overhead_total, schedule)
+        return overhead_total
+
     def _execute_chain_analytic(
         self, pipeline: Pipeline, schedule: Schedule
     ) -> ExecutionReport:
@@ -163,17 +201,7 @@ class PipelineExecutor:
         do not move.  Passing any ``observer`` (even a no-op) forces the
         full DES, which is how the tests cross-check the two paths.
         """
-        # Eq. 1 overhead summed in pipeline.edges order, matching both the
-        # scheduler and the DES path's _spawn_job float-summation order.
-        overhead_total = 0.0
-        for edge in pipeline.edges:
-            src = schedule.assignments[edge.src]
-            dst = schedule.assignments[edge.dst]
-            if src is not dst:
-                overhead_total += self.cost_model.boundary_cost(
-                    edge.nbytes, (src, dst)
-                )
-        self._check_overhead(overhead_total, schedule)
+        overhead_total = self._eq1_overhead(pipeline, schedule)
         # Virtual-time accrual in chain order: transfer(s), then compute.
         now = 0.0
         for name in pipeline.topological_order:
@@ -194,15 +222,278 @@ class PipelineExecutor:
         self,
         jobs: Sequence[tuple[Pipeline, Schedule]],
         observer: TraceObserver | None = None,
+        arrivals: Sequence[float] | None = None,
+        coalesce: bool = True,
+        shard: bool = True,
     ) -> BatchExecutionReport:
         """Execute every (pipeline, schedule) job concurrently on one
-        shared set of devices.  Jobs are all released at t=0; the DES
-        arbitrates device and link contention between them."""
+        shared set of devices.
+
+        ``arrivals`` turns the closed batch into an open queue: job ``i``
+        is released at offset ``arrivals[i]`` (seconds of virtual time,
+        non-negative) instead of t=0.  The DES arbitrates device and link
+        contention between the released jobs exactly as before.
+
+        Scale-out fast path (results bit-identical to the plain shared
+        engine, cross-checked in tests):
+
+        - ``shard=True`` partitions the batch by contention — jobs whose
+          placements touch disjoint device/link sets share no resources,
+          hence no events, so each partition runs on its own engine;
+        - ``coalesce=True`` folds jobs with identical pipeline/schedule
+          objects (what the framework's signature caches hand out for
+          duplicate jobs) into weighted super-jobs — one shared task
+          list, overhead and report template per signature, replayed
+          once per replica — and runs all-chain shards through the
+          allocation-lean FIFO replay
+          (:func:`repro.hw.engine.replay_chain_batch`) instead of the
+          generator engine.
+
+        Passing any ``observer`` forces the uncollapsed, unsharded DES:
+        trace consumers see the exact event stream of one shared engine.
+        """
         if not jobs:
             raise SimulationError("execute_many needs at least one job")
+        n = len(jobs)
+        if arrivals is not None:
+            arrivals = [float(offset) for offset in arrivals]
+            if len(arrivals) != n:
+                raise SimulationError(
+                    f"{n} jobs but {len(arrivals)} arrival offsets"
+                )
+            for offset in arrivals:
+                if offset < 0:
+                    raise SimulationError(
+                        f"negative arrival offset: {offset}"
+                    )
+        if observer is not None:
+            job_reports, makespan = self._execute_batch_engine(
+                jobs, range(n), observer, arrivals
+            )
+            return BatchExecutionReport(
+                job_reports=tuple(job_reports),
+                makespan=makespan,
+                arrivals=None if arrivals is None else tuple(arrivals),
+            )
+
+        shards = (
+            self._contention_shards(jobs) if shard else [list(range(n))]
+        )
+        reports: list[ExecutionReport | None] = [None] * n
+        makespan = 0.0
+        n_superjobs = 0
+        for indices in shards:
+            shard_jobs = [jobs[i] for i in indices]
+            shard_arrivals = (
+                None if arrivals is None else [arrivals[i] for i in indices]
+            )
+            replayed = None
+            if coalesce and all(
+                self._is_single_chain(pipeline)
+                for pipeline, _schedule in shard_jobs
+            ):
+                replayed = self._execute_chain_shard(
+                    shard_jobs, shard_arrivals
+                )
+            if replayed is not None:
+                shard_reports, shard_makespan, shard_groups = replayed
+                n_superjobs += shard_groups
+            else:
+                shard_reports, shard_makespan = self._execute_batch_engine(
+                    shard_jobs, indices, None, shard_arrivals
+                )
+            for index, report in zip(indices, shard_reports):
+                reports[index] = report
+            if shard_makespan > makespan:
+                makespan = shard_makespan
+        return BatchExecutionReport(
+            job_reports=tuple(reports),
+            makespan=makespan,
+            arrivals=None if arrivals is None else tuple(arrivals),
+            n_shards=len(shards),
+            n_superjobs=n_superjobs,
+        )
+
+    # ------------------------------------------------------------------
+    # Batch internals: sharding, coalescing, the engine path
+    # ------------------------------------------------------------------
+    @staticmethod
+    def _contention_shards(
+        jobs: Sequence[tuple[Pipeline, Schedule]]
+    ) -> list[list[int]]:
+        """Partition job indices into contention components.
+
+        Two jobs land in the same shard iff their placements share a
+        device or a boundary wire (transitively).  Disjoint resource
+        sets mean disjoint event graphs: no acquire of one shard can
+        ever delay — or reorder a grant of — another, so running each
+        shard on its own engine reproduces the shared engine's floats
+        exactly.  Shards preserve submission order.
+        """
+        parent = list(range(len(jobs)))
+
+        def find(i: int) -> int:
+            while parent[i] != i:
+                parent[i] = parent[parent[i]]
+                i = parent[i]
+            return i
+
+        # Resource sets are a pure function of the schedule, so compute
+        # them once per distinct schedule object (duplicate jobs share
+        # the object through the framework's caches).
+        touched: dict[int, tuple] = {}
+        owner: dict[object, int] = {}
+        for i, (_pipeline, schedule) in enumerate(jobs):
+            keys = touched.get(id(schedule))
+            if keys is None:
+                key_set: set = set(schedule.assignments.values())
+                for pair in schedule.crossing_pairs:
+                    key_set.add(frozenset(pair))
+                keys = touched[id(schedule)] = tuple(key_set)
+            for key in keys:
+                claimant = owner.get(key)
+                if claimant is None:
+                    owner[key] = i
+                else:
+                    root_a, root_b = find(i), find(claimant)
+                    if root_a != root_b:
+                        parent[root_b] = root_a
+        shards: dict[int, list[int]] = {}
+        for i in range(len(jobs)):
+            shards.setdefault(find(i), []).append(i)
+        return list(shards.values())
+
+    def _execute_chain_shard(
+        self,
+        shard_jobs: list[tuple[Pipeline, Schedule]],
+        shard_arrivals: list[float] | None,
+    ) -> tuple[list[ExecutionReport], float, int] | None:
+        """Run one all-chain shard through the FIFO replay, or ``None``
+        when the shard is ineligible (a zero-duration task under a
+        degenerate cost model) and must take the engine path.
+
+        Jobs are grouped into super-jobs by pipeline/schedule identity;
+        each group's task list, Eq. 1 overhead and report template are
+        derived once and shared by every replica — the replay walks one
+        per-replica cursor over the group's tasks, so per-replica
+        completion times fall out of FIFO semantics exactly (stage
+        waves included, see :func:`repro.hw.engine.replay_chain_batch`).
+        Returns per-job reports in shard order, the shard makespan, and
+        the super-job count.
+        """
+        group_index: dict[tuple[int, int], int] = {}
+        group_members: list[list[int]] = []
+        member_group: list[int] = []
+        for position, (pipeline, schedule) in enumerate(shard_jobs):
+            key = (id(pipeline), id(schedule))
+            group = group_index.get(key)
+            if group is None:
+                group = group_index[key] = len(group_members)
+                group_members.append([])
+            group_members[group].append(position)
+            member_group.append(group)
+
+        resource_ids: dict[object, int] = {}
+        group_tasks: list[list[tuple[int, float, int]]] = []
+        group_template: list[ExecutionReport] = []
+        for members in group_members:
+            pipeline, schedule = shard_jobs[members[0]]
+            tasks, overhead_total = self._chain_tasks(
+                pipeline, schedule, resource_ids
+            )
+            if tasks is None:  # degenerate zero-duration task
+                return None
+            group_tasks.append(tasks)
+            group_template.append(
+                self._job_report(pipeline, schedule, overhead_total, 0.0)
+            )
+
+        n = len(shard_jobs)
+        job_tasks = [group_tasks[group] for group in member_group]
+        finish, makespan = replay_chain_batch(
+            job_tasks,
+            [0.0] * n if shard_arrivals is None else shard_arrivals,
+            len(resource_ids),
+        )
+        reports = [
+            replace(group_template[member_group[position]], total_time=t)
+            for position, t in enumerate(finish)
+        ]
+        return reports, makespan, len(group_members)
+
+    def _chain_tasks(
+        self,
+        pipeline: Pipeline,
+        schedule: Schedule,
+        resource_ids: dict[object, int],
+    ) -> tuple[list[tuple[int, float, int]] | None, float]:
+        """Flatten one single-chain job into FIFO-replay tasks.
+
+        Tasks are ``(resource index, duration, entry_hop)`` in chain
+        order — each stage's boundary transfer(s) on the owning wire,
+        then the stage on its device — exactly the acquire sequence
+        :meth:`_spawn_job`'s stage processes perform.  ``entry_hop`` is
+        the engine's same-instant cascade distance from the previous
+        task's completion to this task's acquire (1 within a stage, 2
+        across a stage boundary; see
+        :func:`repro.hw.engine.replay_chain_batch`).  ``resource_ids``
+        interns devices (:class:`Placement`) and wires (placement-pair
+        frozensets) shard-wide, so replicas and distinct groups contend
+        on the same indices.  The job total comes from
+        :meth:`_eq1_overhead` (the one scheduler-order summation).
+
+        Returns ``(None, overhead)`` when any duration is non-positive:
+        the replay's banded tie-handling assumes time strictly advances
+        per occupancy, so zero-cost tasks (possible only under degenerate
+        custom cost models) fall back to the generator engine.
+        """
+        overhead_total = self._eq1_overhead(pipeline, schedule)
+        tasks: list[tuple[int, float, int]] = []
+        for name in pipeline.topological_order:
+            placement = schedule.assignments[name]
+            stage_first = True
+            for edge in pipeline.in_edges(name):
+                src = schedule.assignments[edge.src]
+                if src is not placement:
+                    pair = frozenset((src, placement))
+                    wire = resource_ids.get(pair)
+                    if wire is None:
+                        wire = resource_ids[pair] = len(resource_ids)
+                    tasks.append(
+                        (
+                            wire,
+                            self.cost_model.boundary_cost(
+                                edge.nbytes, (src, placement)
+                            ),
+                            2,
+                        )
+                    )
+                    stage_first = False
+            device = resource_ids.get(placement)
+            if device is None:
+                device = resource_ids[placement] = len(resource_ids)
+            entry_hop = 1 if not stage_first else (2 if tasks else 0)
+            tasks.append(
+                (device, schedule.stage_times[name].total, entry_hop)
+            )
+        if any(duration <= 0.0 for _res, duration, _hop in tasks):
+            return None, overhead_total
+        return tasks, overhead_total
+
+    def _execute_batch_engine(
+        self,
+        shard_jobs: Sequence[tuple[Pipeline, Schedule]],
+        labels: Sequence[int],
+        observer: TraceObserver | None,
+        shard_arrivals: Sequence[float] | None,
+    ) -> tuple[list[ExecutionReport], float]:
+        """The uncollapsed path: every job of ``shard_jobs`` as stage
+        processes on one shared engine (the pre-coalescing semantics,
+        and the reference the fast paths are verified against).
+        ``labels`` carries the submission indices for trace prefixes."""
         engine = Engine()
         devices = self._device_resources(
-            engine, [schedule for _pipeline, schedule in jobs]
+            engine, [schedule for _pipeline, schedule in shard_jobs]
         )
         links: dict[frozenset, Resource] = {}
         # Deduplicated batch setup: jobs sharing the same pipeline and
@@ -213,7 +504,7 @@ class PipelineExecutor:
         # because value-equality would be as expensive as rebuilding.
         plans: dict[tuple[int, int], tuple] = {}
         spawned = []
-        for index, (pipeline, schedule) in enumerate(jobs):
+        for position, (pipeline, schedule) in enumerate(shard_jobs):
             plan_key = (id(pipeline), id(schedule))
             plan = plans.get(plan_key)
             if plan is None:
@@ -226,17 +517,21 @@ class PipelineExecutor:
                 schedule,
                 observer,
                 plan,
-                label_prefix=f"job{index}:",
+                label_prefix=f"job{labels[position]}:",
+                release=(
+                    None if shard_arrivals is None
+                    else shard_arrivals[position]
+                ),
             )
             spawned.append((pipeline, schedule, processes, overhead_total))
         makespan = engine.run()
-        job_reports = tuple(
+        job_reports = [
             self._job_report(
                 pipeline, schedule, overhead_total, self._finish_time(processes)
             )
             for pipeline, schedule, processes, overhead_total in spawned
-        )
-        return BatchExecutionReport(job_reports=job_reports, makespan=makespan)
+        ]
+        return job_reports, makespan
 
     # ------------------------------------------------------------------
     # Internals
@@ -268,14 +563,13 @@ class PipelineExecutor:
         ``links`` maps each device pair to its capacity-1 wire resource
         (created on first use and shared across every job in the engine),
         so CPU<->NDP and CPU<->GPU transfers ride distinct wires while
-        transfers on the same wire serialize.  Crossing edges are summed
-        in ``pipeline.edges`` order so the float summation matches the
-        scheduler's exactly.
+        transfers on the same wire serialize.  The job total comes from
+        :meth:`_eq1_overhead` (the one scheduler-order summation).
         """
+        overhead_total = self._eq1_overhead(pipeline, schedule)
         transfers: dict[str, list[tuple[str, Resource, float]]] = {
             name: [] for name in pipeline.stage_names
         }
-        overhead_total = 0.0
         for edge in pipeline.edges:
             src_placement = schedule.assignments[edge.src]
             dst_placement = schedule.assignments[edge.dst]
@@ -290,8 +584,6 @@ class PipelineExecutor:
                 transfers[edge.dst].append(
                     (f"{edge.src}->{edge.dst}", links[pair], cost)
                 )
-                overhead_total += cost
-        self._check_overhead(overhead_total, schedule)
         return transfers, overhead_total
 
     def _spawn_job(
@@ -303,18 +595,23 @@ class PipelineExecutor:
         observer: TraceObserver | None,
         plan: tuple[dict[str, list[tuple[str, Resource, float]]], float],
         label_prefix: str = "",
+        release: float | None = None,
     ) -> tuple[dict[str, SimProcess], float]:
         """Spawn one process per stage (in topological order, so every
         predecessor process exists before its dependents) and return the
         processes plus the job's total Eq. 1 overhead.  ``plan`` is the
         job's :meth:`_transfer_plan` (shareable between jobs that run
-        the same pipeline/schedule objects in the same engine)."""
+        the same pipeline/schedule objects in the same engine).
+        ``release`` delays the job's entry stages to that arrival offset
+        (downstream stages inherit it through the predecessor waits)."""
         transfers, overhead_total = plan
 
         def stage_process(name: str, predecessors: list[SimProcess]):
             placement = schedule.assignments[name]
             device = devices[placement]
             duration = schedule.stage_times[name].total
+            if release is not None and not predecessors:
+                yield engine.timeout(release)
             for predecessor in predecessors:
                 yield predecessor
             for label, wire, cost in transfers[name]:

@@ -17,21 +17,29 @@ footprints (Table I / §VI-A discussion).
 
 Beyond the paper, :meth:`NdftFramework.run_many` is the batching
 front-end: it schedules a batch of heterogeneous problem sizes and
-executes them concurrently through one shared engine, reporting per-job
+executes them concurrently through one shared machine, reporting per-job
 completion times plus aggregate makespan and throughput — the serving
-mode a DFT-as-a-service deployment runs in.
+mode a DFT-as-a-service deployment runs in.  Passing ``arrivals``
+(deterministic offsets or :func:`repro.core.arrivals.poisson_arrivals`)
+turns the batch into an open queue and the result additionally reports
+p50/p99 completion latency and per-job queueing delay.
 
 Serving fast path: every artifact the framework derives per job — the
 built pipeline, the cost-aware schedule, the SCA reports, and the
 standalone (solo) DES report — is a pure function of the job's
 content-addressed :class:`~repro.core.signature.JobSignature`, so the
-framework memoizes all four.  ``run_many([512] * 256)`` schedules,
-analyzes and solo-times the 512-atom job exactly once; only the shared
-batch simulation still sees all 256 jobs (their completion times differ
-through contention).  The caches live on the framework, compose across
-calls, and are dropped whenever :meth:`NdftFramework.register_target`
-changes the machine registry.  ``NdftFramework(memoize=False)`` is the
-escape hatch that re-derives everything per job — the serving benchmark
+framework memoizes all four in bounded LRU caches
+(``cache_size`` entries each, eviction counted in ``cache_stats``).
+``run_many([512] * 256)`` schedules, analyzes and solo-times the
+512-atom job exactly once; the shared batch simulation itself is scaled
+out by the executor (signature-coalesced super-jobs, contention-sharded
+engines — bit-identical to the plain shared engine), and cold
+placements of never-seen sizes warm-start the exact DP from the nearest
+same-structure neighbor.  The caches live on the framework, compose
+across calls, and are dropped whenever
+:meth:`NdftFramework.register_target` changes the machine registry.
+``NdftFramework(memoize=False)`` is the escape hatch that re-derives
+everything per job — the serving benchmark
 (:mod:`repro.experiments.scale_serving`) uses it as the "before"
 measurement and asserts the results are identical either way.
 """
@@ -41,12 +49,14 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Callable, Sequence
 
+from repro.core.arrivals import percentile
 from repro.core.cost_model import OffloadCostModel, serial_links
 from repro.core.executor import (
     BatchExecutionReport,
     ExecutionReport,
     PipelineExecutor,
 )
+from repro.core.lru import LruCache
 from repro.core.pipeline import Pipeline, build_pipeline
 from repro.core.sca import ScaReport, StaticCodeAnalyzer
 from repro.core.scheduler import (
@@ -56,7 +66,11 @@ from repro.core.scheduler import (
     Schedule,
     SchedulingPolicy,
 )
-from repro.core.signature import JobSignature, job_signature
+from repro.core.signature import (
+    JobSignature,
+    job_signature,
+    structure_signature,
+)
 from repro.dft.workload import ProblemSize, problem_size
 from repro.hw.config import SystemConfig, gpu_baseline_config, ndft_system_config
 from repro.hw.cpu import CpuModel
@@ -107,7 +121,13 @@ class NdftRunResult:
 
 @dataclass(frozen=True)
 class NdftBatchResult:
-    """A batch of jobs executed concurrently on one shared machine."""
+    """A batch of jobs executed concurrently on one shared machine.
+
+    When the batch ran as an open queue (``run_many(..., arrivals=...)``)
+    the latency properties report completion latency — finish minus
+    release — and queueing delay — latency minus the job's unloaded solo
+    makespan; at t=0 they degrade to the closed-batch completion times.
+    """
 
     jobs: tuple[NdftRunResult, ...]
     batch_report: BatchExecutionReport
@@ -118,6 +138,41 @@ class NdftBatchResult:
     @property
     def n_jobs(self) -> int:
         return len(self.jobs)
+
+    @property
+    def arrivals(self) -> tuple[float, ...] | None:
+        """Per-job release offsets, or ``None`` for the t=0 batch."""
+        return self.batch_report.arrivals
+
+    @property
+    def completion_latencies(self) -> tuple[float, ...]:
+        """Per-job completion minus release, in submission order."""
+        return self.batch_report.completion_latencies
+
+    def latency_percentile(self, q: float) -> float:
+        return percentile(self.completion_latencies, q)
+
+    @property
+    def p50_latency(self) -> float:
+        return self.latency_percentile(50.0)
+
+    @property
+    def p99_latency(self) -> float:
+        return self.latency_percentile(99.0)
+
+    @property
+    def queueing_delays(self) -> tuple[float, ...]:
+        """How much longer each job took than it would have alone —
+        time spent waiting for contended devices and wires."""
+        return tuple(
+            latency - solo
+            for latency, solo in zip(self.completion_latencies, self.solo_times)
+        )
+
+    @property
+    def mean_queueing_delay(self) -> float:
+        delays = self.queueing_delays
+        return sum(delays) / len(delays)
 
     @property
     def makespan(self) -> float:
@@ -160,12 +215,18 @@ class NdftFramework:
     two-sided system (and its published numbers) intact.
     """
 
+    #: Default bound on every signature cache: ample for realistic size
+    #: mixes, finite under adversarial variety (each entry is small, but
+    #: a public service should not grow state per unique request).
+    DEFAULT_CACHE_SIZE = 1024
+
     def __init__(
         self,
         system: SystemConfig | None = None,
         policy: SchedulingPolicy = SchedulingPolicy.COST_AWARE,
         enable_gpu: bool = False,
         memoize: bool = True,
+        cache_size: int | None = DEFAULT_CACHE_SIZE,
     ):
         self.system = system or ndft_system_config()
         self.policy = policy
@@ -173,22 +234,32 @@ class NdftFramework:
         #: by content-addressed job signature.  ``False`` re-derives
         #: everything per job (the benchmark's uncached baseline).
         self.memoize = memoize
-        self._pipeline_cache: dict[tuple, Pipeline] = {}
-        self._schedule_cache: dict[JobSignature, Schedule] = {}
-        self._solo_report_cache: dict[JobSignature, ExecutionReport] = {}
-        self._sca_cache: dict[str, dict[str, ScaReport]] = {}
-        #: Per-cache hit/miss counters (observability for the serving
-        #: benchmark and the memoization tests).
-        self.cache_stats = {
-            "pipeline_hits": 0,
-            "pipeline_misses": 0,
-            "schedule_hits": 0,
-            "schedule_misses": 0,
-            "solo_hits": 0,
-            "solo_misses": 0,
-            "sca_hits": 0,
-            "sca_misses": 0,
-        }
+        #: LRU bound per cache (``None`` = unbounded).  Eviction is a
+        #: capacity decision only: evicted entries are re-derived with
+        #: identical values on the next miss.
+        self.cache_size = cache_size
+        self._pipeline_cache = LruCache(cache_size)
+        self._schedule_cache = LruCache(cache_size)
+        self._solo_report_cache = LruCache(cache_size)
+        self._sca_cache = LruCache(cache_size)
+        #: Minted signatures keyed by pipeline object identity (the value
+        #: pins the pipeline so a recycled ``id`` can never alias): batch
+        #: entries resolved through ``_pipeline_cache`` share one object,
+        #: so duplicate jobs skip re-fingerprinting the registry per job.
+        self._signature_cache = LruCache(cache_size)
+        #: Warm-start index for the placement DP: structure signature ->
+        #: {n_atoms: assignments}.  Consulted on schedule-cache misses to
+        #: seed the branch-and-bound bound from the nearest same-shape
+        #: size; never consulted for results.  Bounded like the caches
+        #: (LRU over structures, FIFO cap on sizes per structure) so
+        #: adversarial variety cannot grow it without limit.
+        self._warm_start_index: LruCache = LruCache(cache_size)
+        self._warm_start_hits = 0
+        self._warm_start_misses = 0
+        #: Memory footprints are pure functions of the size (and fixed
+        #: NDP geometry) — computed once per distinct n_atoms, not per
+        #: batch member; bounded for the same reason as the caches.
+        self._footprint_cache: LruCache = LruCache(cache_size)
         self.host = CpuModel(self.system.host)
         self.ndp = NdpSystemModel(self.system.ndp)
         self.gpu = GpuModel(gpu_baseline_config()) if enable_gpu else None
@@ -239,6 +310,26 @@ class NdftFramework:
             ),
         )
 
+    @property
+    def cache_stats(self) -> dict[str, int]:
+        """Per-cache hit/miss/eviction counters plus placement-DP
+        warm-start telemetry (observability for the serving benchmark
+        and the memoization tests).  Counters survive cache clears."""
+        stats: dict[str, int] = {}
+        for kind, cache in (
+            ("pipeline", self._pipeline_cache),
+            ("schedule", self._schedule_cache),
+            ("solo", self._solo_report_cache),
+            ("sca", self._sca_cache),
+            ("signature", self._signature_cache),
+        ):
+            stats[f"{kind}_hits"] = cache.hits
+            stats[f"{kind}_misses"] = cache.misses
+            stats[f"{kind}_evictions"] = cache.evictions
+        stats["warm_start_hits"] = self._warm_start_hits
+        stats["warm_start_misses"] = self._warm_start_misses
+        return stats
+
     # ------------------------------------------------------------------
     # Target registry + caches
     # ------------------------------------------------------------------
@@ -260,19 +351,39 @@ class NdftFramework:
         self.clear_caches()
 
     def clear_caches(self) -> None:
-        """Drop every memoized pipeline/schedule/SCA/solo-report entry
-        (hit/miss counters are preserved)."""
+        """Drop every memoized pipeline/schedule/SCA/solo-report entry,
+        minted signature and warm-start placement (hit/miss/eviction
+        counters are preserved)."""
         self._pipeline_cache.clear()
         self._schedule_cache.clear()
         self._solo_report_cache.clear()
         self._sca_cache.clear()
+        self._signature_cache.clear()
+        self._warm_start_index.clear()
+        self._footprint_cache.clear()
 
     def job_signature(self, pipeline: Pipeline) -> JobSignature:
         """The content-addressed key this framework memoizes ``pipeline``
-        under (problem + structure + policy + targets + cost model)."""
-        return job_signature(
+        under (problem + structure + policy + targets + cost model).
+
+        Minting re-fingerprints the registry and cost model, so with
+        memoization on the signature itself is cached by pipeline object
+        identity (entries resolved through the pipeline cache share one
+        object); the cached pipeline is pinned in the value, so a
+        recycled ``id`` cannot alias, and registry changes clear the
+        cache through :meth:`register_target`."""
+        if not self.memoize:
+            return job_signature(
+                pipeline, self.policy, self.scheduler, self.cost_model
+            )
+        entry = self._signature_cache.get(id(pipeline))
+        if entry is not None and entry[0] is pipeline:
+            return entry[1]
+        signature = job_signature(
             pipeline, self.policy, self.scheduler, self.cost_model
         )
+        self._signature_cache.put(id(pipeline), (pipeline, signature))
+        return signature
 
     # ------------------------------------------------------------------
     # Single job
@@ -298,9 +409,12 @@ class NdftFramework:
         self,
         batch: Sequence[int | ProblemSize | Pipeline],
         pipeline_builder: Callable[[ProblemSize], Pipeline] | None = None,
+        arrivals: Sequence[float] | None = None,
+        coalesce: bool = True,
+        shard: bool = True,
     ) -> NdftBatchResult:
         """Schedule and execute a batch of heterogeneous jobs through one
-        shared engine.
+        shared machine.
 
         ``batch`` entries may be atom counts, :class:`ProblemSize` records
         or prebuilt pipelines (mixed freely).  Every job is scheduled
@@ -310,14 +424,24 @@ class NdftFramework:
         overlap.  ``pipeline_builder`` overrides the Fig. 1 chain for
         entries given as sizes (e.g. ``build_kpoint_pipeline``).
 
+        ``arrivals`` releases job ``i`` at virtual-time offset
+        ``arrivals[i]`` instead of t=0 — the open-queue serving model
+        (see :func:`repro.core.arrivals.poisson_arrivals` for the
+        standard generator); the result then reports completion-latency
+        percentiles and queueing delays.
+
         With memoization on (the default), duplicate jobs in the batch
         are deduplicated through the signature caches: each distinct
         signature is built, scheduled, analyzed and solo-timed once, and
         only the shared-machine simulation sees every submitted job.
+        ``coalesce``/``shard`` control the executor's scale-out fast
+        path (signature-coalesced super-jobs, contention-sharded
+        engines); results are bit-identical either way.
         """
         if not batch:
             raise ValueError("run_many needs at least one job")
         builder = pipeline_builder or build_pipeline
+        problems: dict[int, ProblemSize] = {}
         jobs: list[tuple[ProblemSize, Pipeline, Schedule, JobSignature | None]] = []
         for entry in batch:
             if isinstance(entry, Pipeline):
@@ -325,14 +449,20 @@ class NdftFramework:
             elif isinstance(entry, ProblemSize):
                 problem, pipeline = entry, self._build_pipeline(entry, builder)
             else:
-                problem = problem_size(entry)
+                problem = problems.get(entry) if self.memoize else None
+                if problem is None:
+                    problem = problem_size(entry)
+                    problems[entry] = problem
                 pipeline = self._build_pipeline(problem, builder)
             signature = self.job_signature(pipeline) if self.memoize else None
             schedule = self._schedule_for(pipeline, signature)
             jobs.append((problem, pipeline, schedule, signature))
 
         batch_report = self.executor.execute_many(
-            [(pipeline, schedule) for _p, pipeline, schedule, _s in jobs]
+            [(pipeline, schedule) for _p, pipeline, schedule, _s in jobs],
+            arrivals=arrivals,
+            coalesce=coalesce,
+            shard=shard,
         )
         solo_times = tuple(
             self._solo_report(pipeline, schedule, signature).total_time
@@ -379,11 +509,8 @@ class NdftFramework:
         key = (problem, builder)
         pipeline = self._pipeline_cache.get(key)
         if pipeline is None:
-            self.cache_stats["pipeline_misses"] += 1
             pipeline = builder(problem)
-            self._pipeline_cache[key] = pipeline
-        else:
-            self.cache_stats["pipeline_hits"] += 1
+            self._pipeline_cache.put(key, pipeline)
         return pipeline
 
     def _schedule_for(
@@ -393,12 +520,58 @@ class NdftFramework:
             return self.scheduler.schedule(pipeline, self.policy)
         schedule = self._schedule_cache.get(signature)
         if schedule is None:
-            self.cache_stats["schedule_misses"] += 1
-            schedule = self.scheduler.schedule(pipeline, self.policy)
-            self._schedule_cache[signature] = schedule
-        else:
-            self.cache_stats["schedule_hits"] += 1
+            structure_key = None
+            if self.policy is SchedulingPolicy.COST_AWARE:
+                structure_key = structure_signature(
+                    pipeline, self.policy, self.scheduler, self.cost_model
+                )
+            schedule = self.scheduler.schedule(
+                pipeline,
+                self.policy,
+                warm_start=self._warm_start_hint(pipeline, structure_key),
+            )
+            self._schedule_cache.put(signature, schedule)
+            self._remember_placement(pipeline, schedule, structure_key)
         return schedule
+
+    def _warm_start_hint(
+        self, pipeline: Pipeline, structure_key: tuple | None
+    ) -> dict[str, Placement] | None:
+        """The cached placement of the nearest same-structure size, as a
+        branch-and-bound seed for the placement DP.  A hint only prunes
+        provably suboptimal DP states, so the returned schedule is
+        bit-identical to a cold search — stale or mismatched hints cost
+        nothing but the lookup."""
+        if structure_key is None:
+            return None
+        neighbors = self._warm_start_index.get(structure_key)
+        if not neighbors:
+            self._warm_start_misses += 1
+            return None
+        n_atoms = pipeline.problem.n_atoms
+        nearest = min(neighbors, key=lambda size: (abs(size - n_atoms), size))
+        self._warm_start_hits += 1
+        return neighbors[nearest]
+
+    def _remember_placement(
+        self,
+        pipeline: Pipeline,
+        schedule: Schedule,
+        structure_key: tuple | None,
+    ) -> None:
+        """Index a freshly-computed placement for future warm starts."""
+        if structure_key is None:
+            return
+        key = structure_key
+        neighbors = self._warm_start_index.peek(key)
+        if neighbors is None:
+            neighbors = {}
+            self._warm_start_index.put(key, neighbors)
+        neighbors[pipeline.problem.n_atoms] = schedule.assignments
+        # FIFO cap on sizes per structure: hints are a heuristic, so
+        # dropping the oldest size costs at most a colder search.
+        if self.cache_size is not None and len(neighbors) > self.cache_size:
+            del neighbors[next(iter(neighbors))]
 
     def _solo_report(
         self,
@@ -411,11 +584,8 @@ class NdftFramework:
             return self.executor.execute(pipeline, schedule)
         report = self._solo_report_cache.get(signature)
         if report is None:
-            self.cache_stats["solo_misses"] += 1
             report = self.executor.execute(pipeline, schedule)
-            self._solo_report_cache[signature] = report
-        else:
-            self.cache_stats["solo_hits"] += 1
+            self._solo_report_cache.put(signature, report)
         return report
 
     def _sca_reports(self, pipeline: Pipeline) -> dict[str, ScaReport]:
@@ -429,13 +599,10 @@ class NdftFramework:
         key = pipeline.structural_hash
         reports = self._sca_cache.get(key)
         if reports is None:
-            self.cache_stats["sca_misses"] += 1
             reports = self.sca.analyze_all(
                 [stage.function for stage in pipeline.stages]
             )
-            self._sca_cache[key] = reports
-        else:
-            self.cache_stats["sca_hits"] += 1
+            self._sca_cache.put(key, reports)
         return reports
 
     def _run_result(
@@ -446,15 +613,21 @@ class NdftFramework:
         report: ExecutionReport,
     ) -> NdftRunResult:
         sca_reports = self._sca_reports(pipeline)
+        footprints = None
+        if self.memoize:
+            footprints = self._footprint_cache.get(problem.n_atoms)
+        if footprints is None:
+            footprints = (
+                footprint_ndft(problem.n_atoms, NDP_RANKS, NDP_STACKS),
+                footprint_replicated(problem.n_atoms, NDP_RANKS),
+            )
+            if self.memoize:
+                self._footprint_cache.put(problem.n_atoms, footprints)
         return NdftRunResult(
             problem=problem,
             schedule=schedule,
             report=report,
             sca_reports=sca_reports,
-            memory_footprint_gb=footprint_ndft(
-                problem.n_atoms, NDP_RANKS, NDP_STACKS
-            ),
-            replicated_footprint_gb=footprint_replicated(
-                problem.n_atoms, NDP_RANKS
-            ),
+            memory_footprint_gb=footprints[0],
+            replicated_footprint_gb=footprints[1],
         )

@@ -121,6 +121,22 @@ class Pipeline:
             self, "_out_edges", {n: tuple(es) for n, es in out_edges.items()}
         )
         object.__setattr__(self, "_topo_order", tuple(topo))
+        # Shape predicates are queried per job at batch-serving scale
+        # (the executor's chain fast path asks for every batch member),
+        # so derive them once with the other indexes.
+        object.__setattr__(
+            self,
+            "_entry_stages",
+            tuple(n for n in topo if not in_edges[n]),
+        )
+        object.__setattr__(
+            self,
+            "_is_chain",
+            all(
+                len(in_edges[n]) <= 1 and len(out_edges[n]) <= 1
+                for n in topo
+            ),
+        )
 
     # ------------------------------------------------------------------
     # Lookup
@@ -160,7 +176,7 @@ class Pipeline:
 
     @property
     def entry_stages(self) -> tuple[str, ...]:
-        return tuple(n for n in self._topo_order if not self._in_edges[n])
+        return self._entry_stages
 
     @property
     def exit_stages(self) -> tuple[str, ...]:
@@ -170,10 +186,7 @@ class Pipeline:
     def is_chain(self) -> bool:
         """True when every stage has at most one predecessor and one
         successor — the shape the original linear executor assumed."""
-        return all(
-            len(self._in_edges[n]) <= 1 and len(self._out_edges[n]) <= 1
-            for n in self._topo_order
-        )
+        return self._is_chain
 
     @property
     def structural_hash(self) -> str:
@@ -225,7 +238,22 @@ class Pipeline:
                         w.parallel_tasks,
                         stage.function.live_in_bytes,
                         stage.function.live_out_bytes,
-                        len(stage.function.segments),
+                        # Per-segment contents, not just the count: the
+                        # SCA's consistency verdict and time estimates
+                        # depend on how flops/bytes distribute across
+                        # segments, so two hand-built pipelines that
+                        # differ only inside a segment must hash apart.
+                        tuple(
+                            (
+                                segment.name,
+                                segment.flops,
+                                segment.bytes_read,
+                                segment.bytes_written,
+                                segment.access_pattern.value,
+                                segment.instructions,
+                            )
+                            for segment in stage.function.segments
+                        ),
                     )
                 ).encode()
             )

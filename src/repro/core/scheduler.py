@@ -227,7 +227,19 @@ class CostAwareScheduler:
         self,
         pipeline: Pipeline,
         policy: SchedulingPolicy = SchedulingPolicy.COST_AWARE,
+        warm_start: dict[str, Placement] | None = None,
     ) -> Schedule:
+        """Place ``pipeline`` under ``policy``.
+
+        ``warm_start`` optionally seeds the cost-aware DP with a known
+        complete assignment (typically the cached placement of the
+        nearest same-structure job of a different size): its evaluated
+        total becomes a branch-and-bound incumbent that prunes strictly
+        dominated DP states.  The search stays exact — pruning never
+        removes an optimal (or tie-optimal) state, so the returned
+        schedule is bit-identical to the cold search.  Other policies
+        ignore the hint.
+        """
         if policy is SchedulingPolicy.ALL_CPU:
             assignment = {n: Placement.CPU for n in pipeline.stage_names}
             result = self.evaluate(pipeline, assignment)
@@ -244,12 +256,24 @@ class CostAwareScheduler:
             }
             result = self.evaluate(pipeline, assignment)
         elif policy is SchedulingPolicy.COST_AWARE:
-            result = self._dag_optimal(pipeline)
+            result = self._dag_optimal(pipeline, warm_start)
         else:  # pragma: no cover - exhaustive enum
             raise SchedulingError(f"unknown policy {policy}")
         return replace(result, policy=policy)
 
-    def _dag_optimal(self, pipeline: Pipeline) -> Schedule:
+    #: Relative slack on the warm-start incumbent before a DP state is
+    #: pruned.  The DP accumulates costs in walk order while ``evaluate``
+    #: sums stage times first, so the same assignment can differ by a few
+    #: ulps between the two; 1e-9 relative dwarfs that float noise while
+    #: still discarding essentially every strictly-worse state, so
+    #: optimal and tie-optimal states provably survive.
+    WARM_START_SLACK = 1e-9
+
+    def _dag_optimal(
+        self,
+        pipeline: Pipeline,
+        warm_start: dict[str, Placement] | None = None,
+    ) -> Schedule:
         """Exact topological-order DP over placements.
 
         Walk the stages in topological order; the DP state after step i is
@@ -259,7 +283,20 @@ class CostAwareScheduler:
         is what keeps the state space at targets^(frontier width) instead
         of targets^stages: the 6-stage chain explores 12 states total
         where the old exhaustive search enumerated 64 assignments.
+
+        ``warm_start`` (a complete assignment for this pipeline's stage
+        names over registered targets) is evaluated once and its total
+        used as a branch-and-bound bound: a partial state whose
+        accumulated cost already exceeds it cannot finish below the
+        incumbent (costs only ever grow), so dropping it changes nothing
+        about the final argmin — including tie-breaks, because surviving
+        states keep their relative insertion order and every
+        equal-to-optimal state's accumulated cost is bounded by its own
+        final total, which pruning's slack keeps safe.
         """
+        bound = None
+        if warm_start is not None:
+            bound = self._warm_start_bound(pipeline, warm_start)
         order = pipeline.topological_order
         position = {name: i for i, name in enumerate(order)}
         last_use = {
@@ -291,6 +328,8 @@ class CostAwareScheduler:
                             candidate += self.cost_model.boundary_cost(
                                 edge.nbytes, (live_map[edge.src], target)
                             )
+                    if bound is not None and candidate > bound:
+                        continue
                     next_live = {
                         k: v for k, v in live_map.items() if last_use[k] > i
                     }
@@ -306,6 +345,21 @@ class CostAwareScheduler:
             states = new_states
         _cost, best = min(states.values(), key=lambda entry: entry[0])
         return self.evaluate(pipeline, best)
+
+    def _warm_start_bound(
+        self, pipeline: Pipeline, warm_start: dict[str, Placement]
+    ) -> float | None:
+        """The pruning bound a warm-start hint buys, or ``None`` when the
+        hint does not fit this pipeline (different stage names) or names
+        an unregistered target — a stale hint degrades to a cold search,
+        never an error."""
+        if set(warm_start) != set(pipeline.stage_names):
+            return None
+        registered = set(self.targets)
+        if any(p not in registered for p in warm_start.values()):
+            return None
+        total = self.evaluate(pipeline, warm_start).predicted_total
+        return total * (1.0 + self.WARM_START_SLACK)
 
     def _exhaustive_best(self, pipeline: Pipeline) -> Schedule:
         """Brute-force enumeration over targets^stages — kept as the

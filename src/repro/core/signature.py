@@ -92,3 +92,29 @@ def job_signature(
         registry_fingerprint=target_registry_fingerprint(scheduler),
         cost_model_fingerprint=cost_model_fingerprint(cost_model),
     )
+
+
+def structure_signature(
+    pipeline: Pipeline,
+    policy: SchedulingPolicy,
+    scheduler: CostAwareScheduler,
+    cost_model: OffloadCostModel,
+) -> tuple:
+    """The size-blind sibling of :func:`job_signature`.
+
+    Covers the pipeline's *shape* (stage names and edge topology, not
+    workload numbers) plus everything else a placement decision depends
+    on.  Two jobs sharing a structure signature usually share a
+    placement even when their sizes differ — which is what lets the
+    framework warm-start the placement DP for a never-seen size from the
+    nearest same-structure neighbor's cached assignment.  Unlike the job
+    signature this is a *heuristic* key: it only seeds a bound, never a
+    result, so collisions cost time, not correctness.
+    """
+    return (
+        tuple(stage.name for stage in pipeline.stages),
+        tuple((edge.src, edge.dst) for edge in pipeline.edges),
+        policy,
+        target_registry_fingerprint(scheduler),
+        cost_model_fingerprint(cost_model),
+    )

@@ -20,6 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
+from repro.core.arrivals import poisson_arrivals
 from repro.core.framework import NdftBatchResult, NdftFramework
 
 #: Default mixed batch: two small interactive jobs sharing the machine
@@ -33,6 +34,10 @@ class BatchStudy:
 
     sizes: tuple[int, ...]
     result: NdftBatchResult
+
+    @property
+    def open_queue(self) -> bool:
+        return self.result.arrivals is not None
 
     @property
     def makespan(self) -> float:
@@ -61,15 +66,51 @@ class BatchStudy:
 def run_batch_study(
     sizes: tuple[int, ...] = DEFAULT_BATCH_SIZES,
     framework: NdftFramework | None = None,
+    arrival_rate: float | None = None,
+    arrival_seed: int = 0,
 ) -> BatchStudy:
-    """Schedule + execute the batch on one shared machine."""
+    """Schedule + execute the batch on one shared machine.
+
+    ``arrival_rate`` switches the closed t=0 batch to an open queue:
+    jobs are released by a seeded Poisson process at that offered load
+    (jobs per second of virtual time), and the study reports completion
+    latency and queueing delay per job."""
     framework = framework or NdftFramework()
+    arrivals = None
+    if arrival_rate is not None and arrival_rate > 0:
+        arrivals = poisson_arrivals(len(sizes), arrival_rate, seed=arrival_seed)
     return BatchStudy(
-        sizes=tuple(sizes), result=framework.run_many(list(sizes))
+        sizes=tuple(sizes),
+        result=framework.run_many(list(sizes), arrivals=arrivals),
     )
 
 
 def format_batch(study: BatchStudy) -> str:
+    result = study.result
+    if study.open_queue:
+        lines = [
+            f"Open-queue serving - {len(study.sizes)} jobs, Poisson "
+            "arrivals, shared CPU-NDP machine",
+            f"{'job':<10s} {'arrival (s)':>12s} {'done (s)':>10s} "
+            f"{'latency (s)':>12s} {'queued (s)':>11s}",
+        ]
+        for job, arrival, latency, queued in zip(
+            result.jobs,
+            result.arrivals,
+            result.completion_latencies,
+            result.queueing_delays,
+        ):
+            lines.append(
+                f"{job.problem.label:<10s} {arrival:12.4f} "
+                f"{job.report.total_time:10.4f} {latency:12.4f} "
+                f"{queued:11.4f}"
+            )
+        lines.append(
+            f"latency p50 {result.p50_latency:.4f} s, "
+            f"p99 {result.p99_latency:.4f} s, "
+            f"mean queueing delay {result.mean_queueing_delay:.4f} s"
+        )
+        return "\n".join(lines)
     lines = [
         f"Batched serving - {len(study.sizes)} concurrent jobs, shared CPU-NDP machine",
         f"{'job':<10s} {'solo (s)':>10s} {'in-batch (s)':>13s}",

@@ -1,0 +1,203 @@
+"""CI trend gate for the serving benchmark.
+
+``BENCH_serving.json`` anchors the serving performance trajectory: the
+committed file is the previous PR's measurement, and CI regenerates a
+fresh one on every run.  This module compares the two at matching batch
+sizes and fails (exit code 1) when the fresh cached throughput regresses
+by more than the tolerance at *any* shared batch size — the tripwire
+that keeps "the simulator got slower" from sliding in unnoticed.
+
+Two trend signals, because wall-clock numbers are host-specific:
+
+- **wall_speedup** (uncached wall over cached wall, measured within one
+  run) is host-relative, so it is gated *unconditionally* — a fast path
+  that lost ground against its own baseline fails CI no matter which
+  machine committed the reference;
+- **absolute cached throughput** (jobs/s) only trends within one host
+  class, so it is gated only when the two files' hosts are comparable
+  (same Python major.minor, architecture and CPU count — not the exact
+  kernel build, which churns with runner images); on a mismatch the
+  deltas are printed as advisory context instead.
+
+Structural problems — a baseline-only (``--no-cache``) file, no shared
+batch sizes — are refused outright regardless of host metadata.  The
+comparison is deliberately coarse (default: 30 % regression, on
+best-of-N minima) and the verdict prints both files' host metadata.
+
+Usage::
+
+    python -m repro.experiments.bench_compare COMMITTED.json FRESH.json
+    python -m repro.experiments.bench_compare a.json b.json --max-regression 0.5
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from pathlib import Path
+
+#: Maximum tolerated drop of ``jobs_per_second_cached``: fresh must be
+#: at least ``(1 - MAX_REGRESSION) * committed`` at every shared size.
+DEFAULT_MAX_REGRESSION = 0.30
+
+
+def _points_by_batch_size(report: dict) -> dict[int, dict]:
+    return {point["batch_size"]: point for point in report.get("points", ())}
+
+
+def _version_minor(version: str | None) -> str | None:
+    if version is None:
+        return None
+    return ".".join(str(version).split(".")[:2])
+
+
+def hosts_comparable(committed: dict, fresh: dict) -> bool:
+    """Whether absolute jobs/s can be trended between the two reports.
+
+    Comparable means same Python major.minor, machine architecture and
+    CPU count — deliberately *not* the exact platform string, whose
+    kernel build changes with every runner-image update.  Files without
+    metadata (older format) are treated as comparable, keeping the gate
+    conservative."""
+    meta_a = committed.get("metadata") or {}
+    meta_b = fresh.get("metadata") or {}
+    if not meta_a or not meta_b:
+        return True
+    return (
+        _version_minor(meta_a.get("python")) == _version_minor(meta_b.get("python"))
+        and meta_a.get("machine") == meta_b.get("machine")
+        and meta_a.get("cpu_count") == meta_b.get("cpu_count")
+    )
+
+
+def compare_serving_reports(
+    committed: dict,
+    fresh: dict,
+    max_regression: float = DEFAULT_MAX_REGRESSION,
+    hosts_match: bool | None = None,
+) -> list[str]:
+    """Regression messages, empty when the fresh run passes.
+
+    Only batch sizes present in *both* reports are compared (CI sweeps a
+    subset of the committed sizes).  ``wall_speedup`` — host-relative —
+    is gated unconditionally; absolute cached throughput is gated only
+    when ``hosts_match`` (default: derived via :func:`hosts_comparable`).
+    A baseline-only (``--no-cache``) file or a sweep with no shared
+    sizes is always a failure: the gate is misconfigured, not passing."""
+    if not 0.0 <= max_regression < 1.0:
+        raise ValueError(
+            f"max_regression must be in [0, 1), got {max_regression}"
+        )
+    if hosts_match is None:
+        hosts_match = hosts_comparable(committed, fresh)
+    for name, report in (("committed", committed), ("fresh", fresh)):
+        if report.get("fast_path") is False:
+            return [
+                f"{name} report was measured with --no-cache (baseline "
+                "only); its throughput columns hold baseline numbers and "
+                "cannot be trended"
+            ]
+    failures = []
+    committed_points = _points_by_batch_size(committed)
+    fresh_points = _points_by_batch_size(fresh)
+    shared = sorted(set(committed_points) & set(fresh_points))
+    if not shared:
+        return ["no shared batch sizes between committed and fresh reports"]
+    for batch_size in shared:
+        point_before = committed_points[batch_size]
+        point_after = fresh_points[batch_size]
+        speedup_before = point_before.get("wall_speedup")
+        speedup_after = point_after.get("wall_speedup")
+        if speedup_before is not None and speedup_after is not None:
+            if speedup_after < speedup_before * (1.0 - max_regression):
+                failures.append(
+                    f"batch {batch_size}: fast-path speedup over the "
+                    f"uncached baseline regressed {speedup_before:.2f}x -> "
+                    f"{speedup_after:.2f}x "
+                    f"({speedup_after / speedup_before - 1.0:+.1%}, "
+                    f"tolerance -{max_regression:.0%})"
+                )
+        if not hosts_match:
+            continue
+        before = point_before.get("jobs_per_second_cached")
+        after = point_after.get("jobs_per_second_cached")
+        if before is None or after is None:
+            continue
+        if after < before * (1.0 - max_regression):
+            failures.append(
+                f"batch {batch_size}: cached throughput regressed "
+                f"{before:.1f} -> {after:.1f} jobs/s "
+                f"({after / before - 1.0:+.1%}, tolerance -{max_regression:.0%})"
+            )
+    return failures
+
+
+def format_comparison(
+    committed: dict, fresh: dict, failures: list[str]
+) -> str:
+    hosts_match = hosts_comparable(committed, fresh)
+    lines = ["serving benchmark trend check"]
+    for name, report in (("committed", committed), ("fresh", fresh)):
+        meta = report.get("metadata") or {}
+        context = ", ".join(
+            f"{key}={meta[key]}"
+            for key in ("python", "platform", "cpu_count")
+            if key in meta
+        )
+        lines.append(f"  {name}: {context or 'no host metadata recorded'}")
+    if not hosts_match:
+        lines.append(
+            "  hosts differ: absolute jobs/s shown for context only; "
+            "gating on wall_speedup (host-relative)"
+        )
+    committed_points = _points_by_batch_size(committed)
+    fresh_points = _points_by_batch_size(fresh)
+    for batch_size in sorted(set(committed_points) & set(fresh_points)):
+        before = committed_points[batch_size].get("jobs_per_second_cached")
+        after = fresh_points[batch_size].get("jobs_per_second_cached")
+        speedup_before = committed_points[batch_size].get("wall_speedup")
+        speedup_after = fresh_points[batch_size].get("wall_speedup")
+        if before and after:
+            speedups = ""
+            if speedup_before and speedup_after:
+                speedups = (
+                    f", speedup {speedup_before:.2f}x -> {speedup_after:.2f}x"
+                )
+            lines.append(
+                f"  batch {batch_size:5d}: {before:10.1f} -> {after:10.1f} "
+                f"jobs/s ({after / before - 1.0:+.1%}{speedups})"
+            )
+    if failures:
+        lines.append("FAIL:")
+        lines.extend(f"  {failure}" for failure in failures)
+    else:
+        lines.append("OK: no serving regression beyond tolerance")
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Fail when the fresh serving benchmark regresses "
+        "against the committed one."
+    )
+    parser.add_argument("committed", type=Path, help="previous BENCH_serving.json")
+    parser.add_argument("fresh", type=Path, help="freshly measured BENCH_serving.json")
+    parser.add_argument(
+        "--max-regression",
+        type=float,
+        default=DEFAULT_MAX_REGRESSION,
+        help="tolerated fractional throughput drop (default: 0.30)",
+    )
+    args = parser.parse_args(argv)
+    committed = json.loads(args.committed.read_text())
+    fresh = json.loads(args.fresh.read_text())
+    failures = compare_serving_reports(
+        committed, fresh, max_regression=args.max_regression
+    )
+    print(format_comparison(committed, fresh, failures))
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CI
+    sys.exit(main())

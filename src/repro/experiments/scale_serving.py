@@ -16,8 +16,15 @@ around.  This driver measures exactly that:
 - cross-check that both paths produce *identical* batch results (same
   makespan, same solo times, same per-job reports) — the fast path is an
   optimization, never an approximation;
-- emit the measurements as ``BENCH_serving.json`` to anchor the serving
-  performance trajectory across PRs.
+- measure each point once more as an *open queue* (seeded Poisson
+  arrivals at ``--arrival-rate`` jobs of virtual time per second) and
+  record the p50/p99 completion latency and mean queueing delay — the
+  serving-model metrics;
+- emit the measurements as ``BENCH_serving.json`` — tagged with host
+  metadata (Python version, platform, CPU count) so CI trend
+  comparisons (:mod:`repro.experiments.bench_compare`) are
+  interpretable — to anchor the serving performance trajectory across
+  PRs.
 
 Every measurement uses a fresh framework (cold caches), so the reported
 speedup is what one ``run_many`` call gains from intra-batch
@@ -27,18 +34,38 @@ deduplication alone; caches composing across calls only improve on it.
 from __future__ import annotations
 
 import json
+import os
+import platform
 import time
 from dataclasses import dataclass
 from pathlib import Path
+from typing import Sequence
 
+from repro.core.arrivals import poisson_arrivals
 from repro.core.framework import NdftBatchResult, NdftFramework
 
 #: Default batch-size sweep (jobs per ``run_many`` call).
 DEFAULT_BATCH_SIZES = (16, 64, 256, 1024)
 #: Default job-size mix: small interactive jobs alongside mid/large ones.
 DEFAULT_MIX = (64, 128, 512, 1024)
+#: Default offered load for the open-queue (arrival-process) point, in
+#: jobs per second of *virtual* time — a bit over half the simulated
+#: capacity of the default mix (~3.8 jobs/s), so queues form without
+#: saturating.
+DEFAULT_ARRIVAL_RATE = 2.0
+def _repo_root() -> Path:
+    """The checkout root (where pyproject.toml lives) when running from
+    a source tree; the current directory for installed copies, where
+    ``__file__`` sits inside site-packages and walking up would land in
+    the interpreter's installation."""
+    for parent in Path(__file__).resolve().parents:
+        if (parent / "pyproject.toml").exists():
+            return parent
+    return Path.cwd()
+
+
 #: Default JSON artifact, at the repo root next to benchmarks_report.txt.
-BENCH_JSON_PATH = Path(__file__).resolve().parents[3] / "BENCH_serving.json"
+BENCH_JSON_PATH = _repo_root() / "BENCH_serving.json"
 
 
 def job_mix(batch_size: int, mix: tuple[int, ...] = DEFAULT_MIX) -> list[int]:
@@ -48,17 +75,31 @@ def job_mix(batch_size: int, mix: tuple[int, ...] = DEFAULT_MIX) -> list[int]:
     return [mix[i % len(mix)] for i in range(batch_size)]
 
 
+def host_metadata() -> dict:
+    """Python/platform context recorded next to the wall-clock numbers,
+    so CI trend comparisons can tell a real regression from a host or
+    interpreter change."""
+    return {
+        "python": platform.python_version(),
+        "implementation": platform.python_implementation(),
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
 def measure_run_many(
     sizes: list[int],
     memoize: bool,
     repeats: int = 3,
+    arrivals: Sequence[float] | None = None,
 ) -> tuple[float, NdftBatchResult]:
     """Best-of-``repeats`` wall-clock seconds for one cold ``run_many``.
 
     A fresh framework per repeat keeps every measurement cold-cache; the
     minimum over repeats is the standard noise filter for wall-clock
-    micro-measurements.
-    """
+    micro-measurements.  ``arrivals`` forwards release offsets (the
+    open-queue serving mode)."""
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     best = float("inf")
@@ -66,11 +107,36 @@ def measure_run_many(
     for _ in range(repeats):
         framework = NdftFramework(memoize=memoize)
         start = time.perf_counter()
-        result = framework.run_many(sizes)
+        result = framework.run_many(sizes, arrivals=arrivals)
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
     assert result is not None
     return best, result
+
+
+@dataclass(frozen=True)
+class ArrivalPoint:
+    """The open-queue measurement at one sweep point: the same job mix
+    released by a seeded Poisson process instead of all at t=0."""
+
+    rate: float
+    seed: int
+    wall_seconds: float
+    makespan: float
+    p50_latency: float
+    p99_latency: float
+    mean_queueing_delay: float
+
+    def to_json_dict(self) -> dict:
+        return {
+            "rate_jobs_per_second": self.rate,
+            "seed": self.seed,
+            "wall_seconds": self.wall_seconds,
+            "makespan_seconds": self.makespan,
+            "p50_latency_seconds": self.p50_latency,
+            "p99_latency_seconds": self.p99_latency,
+            "mean_queueing_delay_seconds": self.mean_queueing_delay,
+        }
 
 
 @dataclass(frozen=True)
@@ -86,6 +152,8 @@ class ServePoint:
     makespan: float
     simulated_throughput: float
     results_identical: bool | None
+    #: Open-queue companion measurement (``None`` when disabled).
+    arrival: ArrivalPoint | None = None
 
     @property
     def jobs_per_second_cached(self) -> float:
@@ -112,11 +180,16 @@ class ServeBenchReport:
     mix: tuple[int, ...]
     repeats: int
     points: tuple[ServePoint, ...]
+    #: False for a ``--no-cache`` sweep: the "cached" columns then hold
+    #: baseline numbers, and trend comparisons must not consume them.
+    fast_path: bool = True
 
     def to_json_dict(self) -> dict:
         return {
             "benchmark": "scale_serving",
             "unit": "wall-clock seconds per run_many call (best of repeats)",
+            "fast_path": self.fast_path,
+            "metadata": host_metadata(),
             "mix": list(self.mix),
             "repeats": self.repeats,
             "points": [
@@ -131,6 +204,9 @@ class ServeBenchReport:
                     "makespan_seconds": p.makespan,
                     "simulated_throughput_jobs_per_second": p.simulated_throughput,
                     "results_identical": p.results_identical,
+                    "arrival": (
+                        None if p.arrival is None else p.arrival.to_json_dict()
+                    ),
                 }
                 for p in self.points
             ],
@@ -162,6 +238,8 @@ def run_serve_bench(
     repeats: int = 3,
     compare_uncached: bool = True,
     cached: bool = True,
+    arrival_rate: float | None = DEFAULT_ARRIVAL_RATE,
+    arrival_seed: int = 0,
 ) -> ServeBenchReport:
     """Run the sweep.
 
@@ -169,6 +247,11 @@ def run_serve_bench(
     only the memoization-free baseline.  With ``cached=True`` and
     ``compare_uncached=True`` (the default) each point measures both
     paths and verifies their results are identical.
+
+    ``arrival_rate`` additionally measures each point as an open queue —
+    the same mix released by a seeded Poisson process — and records the
+    p50/p99 completion latency and mean queueing delay (``None`` or
+    ``<= 0`` disables the extra run).
     """
     points = []
     for batch_size in batch_sizes:
@@ -193,6 +276,26 @@ def run_serve_bench(
             assert uncached_wall is not None and uncached_result is not None
             cached_wall, identical, reference = uncached_wall, None, uncached_result
             uncached_wall = None  # baseline-only: report it as the main column
+        arrival = None
+        if arrival_rate is not None and arrival_rate > 0:
+            offsets = poisson_arrivals(
+                len(sizes), arrival_rate, seed=arrival_seed
+            )
+            arrival_wall, arrival_result = measure_run_many(
+                sizes,
+                memoize=cached,
+                repeats=repeats,
+                arrivals=offsets,
+            )
+            arrival = ArrivalPoint(
+                rate=arrival_rate,
+                seed=arrival_seed,
+                wall_seconds=arrival_wall,
+                makespan=arrival_result.makespan,
+                p50_latency=arrival_result.p50_latency,
+                p99_latency=arrival_result.p99_latency,
+                mean_queueing_delay=arrival_result.mean_queueing_delay,
+            )
         points.append(
             ServePoint(
                 batch_size=batch_size,
@@ -202,10 +305,14 @@ def run_serve_bench(
                 makespan=reference.makespan,
                 simulated_throughput=reference.throughput,
                 results_identical=identical,
+                arrival=arrival,
             )
         )
     return ServeBenchReport(
-        mix=tuple(mix), repeats=repeats, points=tuple(points)
+        mix=tuple(mix),
+        repeats=repeats,
+        points=tuple(points),
+        fast_path=cached,
     )
 
 
@@ -237,4 +344,22 @@ def format_serve_bench(report: ServeBenchReport, cached: bool = True) -> str:
             f"{p.jobs_per_second_cached:10.1f} {uncached} {speedup} "
             f"{identical:>10s}"
         )
+    arrivals = [p for p in report.points if p.arrival is not None]
+    if arrivals:
+        rate = arrivals[0].arrival.rate
+        lines.append(
+            f"\nopen queue (Poisson arrivals at {rate:g} jobs/s, "
+            f"seed {arrivals[0].arrival.seed}):"
+        )
+        lines.append(
+            f"{'batch':>6s} {'wall (s)':>10s} {'p50 lat (s)':>12s} "
+            f"{'p99 lat (s)':>12s} {'queue delay':>12s}"
+        )
+        for p in arrivals:
+            a = p.arrival
+            lines.append(
+                f"{p.batch_size:6d} {a.wall_seconds:10.4f} "
+                f"{a.p50_latency:12.4f} {a.p99_latency:12.4f} "
+                f"{a.mean_queueing_delay:12.4f}"
+            )
     return "\n".join(lines)

@@ -280,3 +280,201 @@ class Engine:
         for watcher in process.watchers:
             heapq.heappush(heap, (now, next(seq), watcher))
         process.watchers.clear()
+
+
+# ---------------------------------------------------------------------------
+# Chain-batch FIFO replay (the scale-out serving fast path)
+# ---------------------------------------------------------------------------
+#
+# A batch of single-chain jobs exercises none of the engine's generality:
+# every job is a fixed linear sequence of (resource, duration) tasks, so
+# the generator machinery (one process per stage, command objects per
+# yield, 4-6 heap events per stage) only re-derives what FIFO semantics
+# already determine.  The two replays below compute the *same floats* the
+# engine would — every occupancy start is either the job's own ready time
+# (a sum along its chain, accrued in the same order) or the previous
+# holder's release time (``max`` picks one operand exactly), and grants
+# are FIFO with same-time ties broken by arrival order — with one heap
+# push/pop per task instead of the engine's per-yield event storm.
+# :meth:`repro.core.executor.PipelineExecutor.execute_many` cross-checks
+# the equivalence in tests and falls back to the full engine for any
+# non-chain job or attached observer.
+
+
+#: Hop-queue actions (see :func:`replay_chain_batch`): START allocates a
+#: completion event for an occupancy granted this instant; ACQUIRE
+#: requests the job's current task's resource.
+_START = 0
+_ACQUIRE = 1
+
+
+def replay_chain_batch(
+    job_tasks: "list",
+    arrivals: "list[float]",
+    n_resources: int,
+) -> tuple[list[float], float]:
+    """FIFO replay of a batch of single-chain jobs on shared resources.
+
+    ``job_tasks[j]`` is job ``j``'s task list — ``(resource_index,
+    duration, entry_hop)`` triples in chain order (boundary transfers
+    interleaved with device occupancies); ``arrivals[j]`` is its release
+    time.  Resources are capacity-1 and FIFO, exactly like
+    :class:`Resource`, and every duration must be positive (the caller
+    guarantees it).  Returns the per-job completion times and the
+    makespan (the last completion), bit-identical to spawning one engine
+    process per stage.
+
+    Event discipline mirrors the engine's ordering contract exactly,
+    including same-instant ties.  One heap entry per occupancy, pushed
+    in the order the engine allocates the matching timeout's ``seq``.
+    At each instant the engine drains a *cascade* of same-time events:
+    completions resume first (in occupancy-start order), and a finishing
+    process reaches its next ``acquire`` only after a number of
+    intermediate events that depends on the transition — resuming
+    mid-stage from a transfer takes one hop (release, then the acquire
+    on the re-push), while crossing a stage boundary takes two (release,
+    StopIteration + watcher wake-up, then the successor's acquire).
+    ``entry_hop`` records that distance (0 for a job's very first task,
+    requested directly at its release event; 1 within a stage; 2 across
+    stages), and the replay processes each instant in banded hops —
+    completions and arrivals, then hop-1 actions, then hop-2, ... — with
+    grants scheduled ahead of the releasing job's own next request, so
+    same-time contention resolves grant-for-grant like the engine.
+
+    Even a batch of *identical* replicas is not the textbook pipelined
+    flow shop: when consecutive stages share a device, a replica's
+    next-stage request enqueues behind every replica already waiting, so
+    service proceeds in stage waves (all stage-0 occupancies, then the
+    stage-1s, ...).  That grant order is emergent — which is why the
+    super-job fast path replays FIFO instead of using a closed form.
+    """
+    n = len(job_tasks)
+    if len(arrivals) != n:
+        raise SimulationError(
+            f"{n} jobs but {len(arrivals)} arrival times"
+        )
+    # Initial release events ordered by (arrival, submission index): the
+    # engine spawns processes in submission order, so same-time releases
+    # request in submission order.  A list sorted by (time, seq) is
+    # already a valid heap.
+    heap: list[tuple[float, int, int]] = sorted(
+        (arrivals[j], j, j) for j in range(n)
+    )
+    seq = n
+    busy = [False] * n_resources
+    waiters: list[deque[int]] = [deque() for _ in range(n_resources)]
+    cursor = [0] * n  # index of the task currently requested/running
+    started = [False] * n  # False until the arrival event is consumed
+    completions = [0.0] * n
+    makespan = 0.0
+    pop = heapq.heappop
+    push = heapq.heappush
+    while heap:
+        time, _tie, first_job = pop(heap)
+        if not heap or heap[0][0] != time:
+            # Tie-free instant — the overwhelmingly common case with
+            # real (float) durations.  No other event shares the
+            # cascade, so grant and next-request resolve inline; the
+            # push order (grant's occupancy first, then this job's, if
+            # any) matches the banded cascade's seq allocation exactly.
+            job = first_job
+            tasks = job_tasks[job]
+            index = cursor[job]
+            if started[job]:
+                resource = tasks[index][0]
+                queue = waiters[resource]
+                if queue:
+                    waiter = queue.popleft()
+                    push(
+                        heap,
+                        (
+                            time + job_tasks[waiter][cursor[waiter]][1],
+                            seq,
+                            waiter,
+                        ),
+                    )
+                    seq += 1
+                else:
+                    busy[resource] = False
+                index += 1
+                cursor[job] = index
+                if index == len(tasks):
+                    completions[job] = time
+                    if time > makespan:
+                        makespan = time
+                    continue
+            else:
+                started[job] = True
+            resource, duration = tasks[index][0], tasks[index][1]
+            if busy[resource]:
+                waiters[resource].append(job)
+            else:
+                busy[resource] = True
+                push(heap, (time + duration, seq, job))
+                seq += 1
+            continue
+        # Same-instant collision: banded cascade emulation.
+        band = [first_job]
+        while heap and heap[0][0] == time:
+            band.append(pop(heap)[2])
+        hop_now: list[tuple[int, int]] = []
+        hop_next: list[tuple[int, int]] = []
+        # Band 0: every event at this instant, in start/arrival order.
+        for job in band:
+            tasks = job_tasks[job]
+            index = cursor[job]
+            if started[job]:
+                # Completion: release the resource, handing it to the
+                # longest waiter (FIFO) before this job's own next
+                # request — the engine grants at release, ahead of the
+                # finisher's resume cascade.
+                resource = tasks[index][0]
+                queue = waiters[resource]
+                if queue:
+                    hop_now.append((_START, queue.popleft()))
+                else:
+                    busy[resource] = False
+                index += 1
+                cursor[job] = index
+                if index == len(tasks):
+                    completions[job] = time
+                    if time > makespan:
+                        makespan = time
+                    continue
+                if tasks[index][2] == 1:
+                    hop_now.append((_ACQUIRE, job))
+                else:
+                    hop_next.append((_ACQUIRE, job))
+            else:
+                # Release event: the first task is requested directly at
+                # this pop (the engine handles the entry acquire inline).
+                started[job] = True
+                resource = tasks[index][0]
+                if busy[resource]:
+                    waiters[resource].append(job)
+                else:
+                    busy[resource] = True
+                    hop_now.append((_START, job))
+        # Hop bands: grants/acquires ripple outward exactly one cascade
+        # step per band.  A successful ACQUIRE's occupancy event is
+        # allocated one hop later (the engine's resume-then-timeout),
+        # keeping completion-event order identical to engine seq order.
+        while hop_now or hop_next:
+            upcoming = hop_next
+            hop_next = []
+            for action, job in hop_now:
+                if action == _START:
+                    push(
+                        heap,
+                        (time + job_tasks[job][cursor[job]][1], seq, job),
+                    )
+                    seq += 1
+                else:
+                    resource = job_tasks[job][cursor[job]][0]
+                    if busy[resource]:
+                        waiters[resource].append(job)
+                    else:
+                        busy[resource] = True
+                        upcoming.append((_START, job))
+            hop_now = upcoming
+    return completions, makespan

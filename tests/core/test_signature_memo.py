@@ -35,6 +35,29 @@ class TestStructuralHash:
         pipeline = build_pipeline(problem_size(64))
         assert pipeline.structural_hash is pipeline.structural_hash
 
+    def test_segment_contents_change_hash(self):
+        """Two hand-built pipelines that differ only *inside* a stage's
+        segments (same totals, same segment count) must hash apart: the
+        SCA's consistency verdict depends on the per-segment split, so
+        a shared hash would alias their memoized reports."""
+        from dataclasses import replace
+
+        from repro.core.ir import CodeSegment
+
+        base = build_pipeline(problem_size(64))
+        stage = base.stages[0]
+        seg_a, seg_b = stage.function.segments[:2]
+        moved = (
+            replace(seg_a, flops=seg_a.flops * 0.5),
+            replace(seg_b, flops=seg_b.flops * 1.5),
+        ) + stage.function.segments[2:]
+        assert isinstance(moved[0], CodeSegment)
+        skewed_stage = replace(
+            stage, function=replace(stage.function, segments=moved)
+        )
+        skewed = replace(base, stages=(skewed_stage,) + base.stages[1:])
+        assert skewed.structural_hash != base.structural_hash
+
 
 class TestJobSignature:
     def test_equal_jobs_share_signature(self):

@@ -1,0 +1,171 @@
+"""The serving-benchmark trend gate (CI bench-smoke comparison)."""
+
+import json
+
+import pytest
+
+from repro.experiments.bench_compare import (
+    compare_serving_reports,
+    format_comparison,
+    hosts_comparable,
+    main,
+)
+
+
+def _report(points, metadata=None, fast_path=True, speedups=None):
+    out = {
+        "benchmark": "scale_serving",
+        "fast_path": fast_path,
+        "points": [
+            {"batch_size": size, "jobs_per_second_cached": jps}
+            for size, jps in points
+        ],
+    }
+    if speedups:
+        for point, speedup in zip(out["points"], speedups):
+            point["wall_speedup"] = speedup
+    if metadata:
+        out["metadata"] = metadata
+    return out
+
+
+class TestCompareServingReports:
+    def test_within_tolerance_passes(self):
+        committed = _report([(16, 1000.0), (64, 2000.0)])
+        fresh = _report([(16, 800.0), (64, 1500.0)])  # -20%, -25%
+        assert compare_serving_reports(committed, fresh) == []
+
+    def test_regression_beyond_tolerance_fails(self):
+        committed = _report([(16, 1000.0), (64, 2000.0)])
+        fresh = _report([(16, 999.0), (64, 1000.0)])  # -50% at 64
+        failures = compare_serving_reports(committed, fresh)
+        assert len(failures) == 1
+        assert "batch 64" in failures[0]
+
+    def test_only_shared_batch_sizes_compared(self):
+        committed = _report([(16, 1000.0), (1024, 9000.0)])
+        fresh = _report([(16, 950.0), (32, 1.0)])  # 32/1024 unshared
+        assert compare_serving_reports(committed, fresh) == []
+
+    def test_no_shared_sizes_is_a_failure(self):
+        failures = compare_serving_reports(
+            _report([(16, 1000.0)]), _report([(32, 1000.0)])
+        )
+        assert failures and "no shared batch sizes" in failures[0]
+
+    def test_improvements_always_pass(self):
+        committed = _report([(16, 1000.0)])
+        fresh = _report([(16, 5000.0)])
+        assert compare_serving_reports(committed, fresh) == []
+
+    def test_tolerance_validation(self):
+        with pytest.raises(ValueError):
+            compare_serving_reports(_report([]), _report([]), max_regression=1.0)
+
+    def test_baseline_only_files_are_refused(self):
+        """--no-cache output holds baseline numbers under the cached
+        columns; trending against it would hide real regressions."""
+        good = _report([(16, 1000.0)])
+        baseline = _report([(16, 150.0)], fast_path=False)
+        for committed, fresh in ((baseline, good), (good, baseline)):
+            failures = compare_serving_reports(committed, fresh)
+            assert failures and "--no-cache" in failures[0]
+
+    def test_hosts_comparable(self):
+        same = {"python": "3.12.1", "machine": "x86_64", "cpu_count": 4}
+        assert hosts_comparable(_report([], metadata=same), _report([], metadata=same))
+        assert not hosts_comparable(
+            _report([], metadata=same),
+            _report([], metadata=dict(same, cpu_count=64)),
+        )
+        assert not hosts_comparable(
+            _report([], metadata=same),
+            _report([], metadata=dict(same, python="3.11.7")),
+        )
+        # Patch releases and kernel-build churn do not break comparability.
+        assert hosts_comparable(
+            _report([], metadata=dict(same, platform="Linux-6.1-x")),
+            _report([], metadata=dict(same, python="3.12.9", platform="Linux-6.8-y")),
+        )
+        # Missing metadata (older files) stays conservative: comparable.
+        assert hosts_comparable(_report([]), _report([], metadata=same))
+
+    def test_speedup_regression_gates_across_hosts(self):
+        """wall_speedup is host-relative, so it fails the gate even when
+        the absolute-throughput comparison is suppressed by a host
+        mismatch."""
+        meta_a = {"python": "3.11.7", "machine": "x86_64", "cpu_count": 1}
+        meta_b = {"python": "3.12.1", "machine": "x86_64", "cpu_count": 4}
+        committed = _report([(16, 9000.0)], metadata=meta_a, speedups=[8.0])
+        fresh = _report([(16, 900.0)], metadata=meta_b, speedups=[2.0])
+        failures = compare_serving_reports(committed, fresh)
+        assert len(failures) == 1
+        assert "speedup" in failures[0]
+
+    def test_absolute_throughput_not_gated_across_hosts(self):
+        meta_a = {"python": "3.11.7", "machine": "x86_64", "cpu_count": 1}
+        meta_b = {"python": "3.12.1", "machine": "x86_64", "cpu_count": 4}
+        committed = _report([(16, 9000.0)], metadata=meta_a, speedups=[8.0])
+        fresh = _report([(16, 900.0)], metadata=meta_b, speedups=[7.9])
+        assert compare_serving_reports(committed, fresh) == []
+
+    def test_format_mentions_metadata_and_verdict(self):
+        committed = _report([(16, 1000.0)], metadata={"python": "3.11.7"})
+        fresh = _report([(16, 100.0)])
+        failures = compare_serving_reports(committed, fresh)
+        text = format_comparison(committed, fresh, failures)
+        assert "python=3.11.7" in text
+        assert "FAIL" in text
+        ok_text = format_comparison(committed, committed, [])
+        assert "OK" in ok_text
+
+
+class TestMain:
+    def test_exit_codes(self, tmp_path, capsys):
+        committed = tmp_path / "committed.json"
+        fresh = tmp_path / "fresh.json"
+        committed.write_text(json.dumps(_report([(16, 1000.0)])))
+        fresh.write_text(json.dumps(_report([(16, 990.0)])))
+        assert main([str(committed), str(fresh)]) == 0
+        fresh.write_text(json.dumps(_report([(16, 10.0)])))
+        assert main([str(committed), str(fresh)]) == 1
+        capsys.readouterr()
+
+    def test_custom_tolerance(self, tmp_path, capsys):
+        committed = tmp_path / "committed.json"
+        fresh = tmp_path / "fresh.json"
+        committed.write_text(json.dumps(_report([(16, 1000.0)])))
+        fresh.write_text(json.dumps(_report([(16, 550.0)])))
+        assert main([str(committed), str(fresh)]) == 1
+        assert (
+            main([str(committed), str(fresh), "--max-regression", "0.5"]) == 0
+        )
+        capsys.readouterr()
+
+    def test_host_mismatch_suppresses_only_absolute_throughput(
+        self, tmp_path, capsys
+    ):
+        """A throughput drop measured on a *different* host class is not
+        regression signal (exit 0, context note); the same files on one
+        host fail.  Structural refusals fail regardless of hosts."""
+        committed = tmp_path / "committed.json"
+        fresh = tmp_path / "fresh.json"
+        meta_a = {"python": "3.12.1", "machine": "x86_64", "cpu_count": 64}
+        meta_b = {"python": "3.11.7", "machine": "aarch64", "cpu_count": 2}
+        committed.write_text(json.dumps(_report([(16, 9000.0)], metadata=meta_a)))
+        fresh.write_text(json.dumps(_report([(16, 900.0)], metadata=meta_b)))
+        assert main([str(committed), str(fresh)]) == 0
+        out = capsys.readouterr().out
+        assert "hosts differ" in out
+        # Same host: the identical regression fails.
+        fresh.write_text(json.dumps(_report([(16, 900.0)], metadata=meta_a)))
+        assert main([str(committed), str(fresh)]) == 1
+        # A baseline-only committed file fails even across hosts.
+        committed.write_text(
+            json.dumps(
+                _report([(16, 900.0)], metadata=meta_a, fast_path=False)
+            )
+        )
+        fresh.write_text(json.dumps(_report([(16, 900.0)], metadata=meta_b)))
+        assert main([str(committed), str(fresh)]) == 1
+        capsys.readouterr()
