@@ -13,6 +13,8 @@ Regenerates any of the paper's artifacts from a shell:
     python -m repro batch --policy all_cpu         # ... under another scheduler
     python -m repro batch --arrival-rate 2.0       # ... as an open queue
     python -m repro serve-bench   # wall-clock serving throughput sweep
+    python -m repro serve-bench --backend engine  # force one sim backend (A/B)
+    python -m repro serve-bench --arrival-sweep   # latency-vs-load + knee
     python -m repro all           # everything, in paper order
 
 ``serve-bench`` is excluded from ``all``: it measures wall-clock time of
@@ -27,6 +29,12 @@ import sys
 
 from repro.core.framework import NdftFramework
 from repro.core.scheduler import SchedulingPolicy
+
+
+def _backend_choices() -> list[str]:
+    from repro.core.backends import backend_names
+
+    return list(backend_names())
 
 
 def _fig4(_args, _framework) -> str:
@@ -165,6 +173,7 @@ def _serve_bench(args, _framework) -> str:
         DEFAULT_ARRIVAL_RATE,
         DEFAULT_BATCH_SIZES,
         DEFAULT_MIX,
+        DEFAULT_SWEEP_RATES,
         format_serve_bench,
         run_serve_bench,
     )
@@ -177,6 +186,11 @@ def _serve_bench(args, _framework) -> str:
     arrival_rate = (
         DEFAULT_ARRIVAL_RATE if args.arrival_rate is None else args.arrival_rate
     )
+    arrival_sweep_rates = None
+    if args.arrival_sweep is not None:
+        arrival_sweep_rates = (
+            tuple(args.arrival_sweep) if args.arrival_sweep else DEFAULT_SWEEP_RATES
+        )
     report = run_serve_bench(
         batch_sizes=batch_sizes,
         mix=mix,
@@ -184,6 +198,8 @@ def _serve_bench(args, _framework) -> str:
         cached=cached,
         arrival_rate=arrival_rate,
         arrival_seed=args.arrival_seed,
+        backend=args.backend,
+        arrival_sweep_rates=arrival_sweep_rates,
     )
     path = report.write_json(args.json) if args.json else report.write_json()
     return format_serve_bench(report, cached=cached) + f"\nwrote {path}"
@@ -269,6 +285,29 @@ def main(argv: list[str] | None = None) -> int:
         type=int,
         default=0,
         help="seed for the Poisson arrival process (default 0)",
+    )
+    parser.add_argument(
+        "--arrival-sweep",
+        type=float,
+        nargs="*",
+        default=None,
+        help=(
+            "serve-bench: sweep --arrival-rate over this grid of offered "
+            "loads (jobs per second of virtual time), recording the "
+            "latency-vs-load curve and the saturation knee in "
+            "BENCH_serving.json; pass with no values for the default "
+            "grid (1.0 2.0 3.0 3.5 4.0 5.0)"
+        ),
+    )
+    parser.add_argument(
+        "--backend",
+        choices=_backend_choices(),
+        default=None,
+        help=(
+            "serve-bench: force one simulation backend for every shard "
+            "(default: the registry picks the fastest supporting one "
+            "per shard) — the replay-vs-engine A/B switch"
+        ),
     )
     parser.add_argument(
         "--json",

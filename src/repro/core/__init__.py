@@ -17,7 +17,11 @@
   the discrete-event engine: DAG-aware waits, branch overlap on distinct
   devices, and batched multi-job execution on one shared machine, scaled
   out through signature-coalesced super-jobs and contention-sharded
-  engines (bit-identical to the plain shared engine).
+  simulations (bit-identical to the plain shared engine).
+- :mod:`repro.core.backends` — the simulation-backend layer the executor
+  selects from per contention shard: the chain FIFO replay, the DAG
+  replay (join counters on fan-in stages) and the generator engine
+  fallback, all bit-identical and pluggable via ``register_backend``.
 - :mod:`repro.core.arrivals` — arrival processes (seeded Poisson) and
   latency percentiles for the open-queue serving model.
 - :mod:`repro.core.signature` / :mod:`repro.core.lru` — content-addressed
@@ -28,6 +32,12 @@
 """
 
 from repro.core.arrivals import percentile, poisson_arrivals
+from repro.core.backends import (
+    SimulationBackend,
+    backend_names,
+    get_backend,
+    register_backend,
+)
 from repro.core.ir import CodeSegment, KernelFunction
 from repro.core.lru import LruCache
 from repro.core.sca import ScaReport, StaticCodeAnalyzer
@@ -56,6 +66,10 @@ from repro.core.baselines import run_cpu_baseline, run_gpu_baseline
 __all__ = [
     "percentile",
     "poisson_arrivals",
+    "SimulationBackend",
+    "backend_names",
+    "get_backend",
+    "register_backend",
     "LruCache",
     "CodeSegment",
     "KernelFunction",

@@ -1,0 +1,273 @@
+"""Pluggable simulation backends for the batched DES executor.
+
+Every contention shard of a batch (see
+:meth:`repro.core.executor.PipelineExecutor.execute_many`) can be timed
+by any simulator that reproduces the generator engine's floats exactly —
+the engine itself, or one of the slim FIFO replays.  This module makes
+that choice an explicit *backend layer* instead of shape checks
+scattered through the executor:
+
+- :class:`SimulationBackend` is the protocol — a capability query
+  (:meth:`~SimulationBackend.supports`) plus
+  :meth:`~SimulationBackend.simulate`, which returns per-job reports,
+  the shard makespan and the super-job count, or ``None`` to decline a
+  shard it only discovers to be ineligible while flattening it (e.g. a
+  zero-duration task under a degenerate cost model).
+- Three backends ship registered, in selection-preference order:
+
+  ===============  ====================================================
+  name             simulates
+  ===============  ====================================================
+  ``chain_replay``  all-single-chain shards via
+                    :func:`repro.hw.engine.replay_chain_batch` — one
+                    cursor per job, the leanest loop.
+  ``dag_replay``    any DAG shard via
+                    :func:`repro.hw.engine.replay_dag_batch` — per-
+                    replica join counters on fan-in stages, so k-point
+                    and other branching pipelines still get the
+                    one-event-per-occupancy replay.
+  ``engine``        anything, through the generator
+                    :class:`repro.hw.engine.Engine` — the universal
+                    fallback and the reference the replays are verified
+                    against.
+  ===============  ====================================================
+
+Selection walks the registry in order and takes the first backend that
+supports the shard and does not decline it; results are bit-identical
+whichever backend runs (property-tested in
+``tests/core/test_coalesce_shard.py`` and
+``tests/core/test_dag_replay.py``).  Any trace observer bypasses the
+registry entirely — trace consumers need the uncollapsed engine's exact
+event stream.  Additional backends (e.g. a C-accelerated calendar)
+plug in via :func:`register_backend`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import replace
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+from repro.errors import SimulationError
+from repro.hw.engine import replay_chain_batch, replay_dag_batch
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard
+    from repro.core.executor import ExecutionReport, PipelineExecutor
+    from repro.core.pipeline import Pipeline
+    from repro.core.scheduler import Schedule
+
+#: What ``simulate`` hands back: per-job reports in shard order, the
+#: shard makespan, and the number of signature-coalesced super-jobs.
+ShardResult = tuple[list["ExecutionReport"], float, int]
+
+
+@runtime_checkable
+class SimulationBackend(Protocol):
+    """One way of timing a contention shard, bit-identical to the
+    generator engine."""
+
+    #: Registry key (also what ``BatchExecutionReport.backend_jobs`` and
+    #: the ``serve-bench --backend`` override call it).
+    name: str
+
+    def supports(
+        self,
+        executor: "PipelineExecutor",
+        shard_jobs: list[tuple["Pipeline", "Schedule"]],
+    ) -> bool:
+        """Cheap structural capability check (shape only — a backend may
+        still decline in :meth:`simulate`)."""
+        ...
+
+    def simulate(
+        self,
+        executor: "PipelineExecutor",
+        shard_jobs: list[tuple["Pipeline", "Schedule"]],
+        shard_arrivals: list[float] | None,
+    ) -> ShardResult | None:
+        """Time the shard, or return ``None`` to decline it late."""
+        ...
+
+
+def _superjob_groups(
+    shard_jobs: list,
+) -> tuple[list[list[int]], list[int]]:
+    """Group shard positions into super-jobs by pipeline/schedule object
+    identity (what the framework's signature caches hand out for
+    duplicate jobs).  Returns the member lists per group and each
+    position's group index."""
+    group_index: dict[tuple[int, int], int] = {}
+    group_members: list[list[int]] = []
+    member_group: list[int] = []
+    for position, (pipeline, schedule) in enumerate(shard_jobs):
+        key = (id(pipeline), id(schedule))
+        group = group_index.get(key)
+        if group is None:
+            group = group_index[key] = len(group_members)
+            group_members.append([])
+        group_members[group].append(position)
+        member_group.append(group)
+    return group_members, member_group
+
+
+def _replay_shard(
+    executor,
+    shard_jobs,
+    shard_arrivals,
+    flatten,
+    replay,
+) -> ShardResult | None:
+    """The shared replay scaffold both slim backends run: coalesce the
+    shard into super-jobs, ``flatten`` each group once into its replay
+    input (returning ``(None, overhead)`` to decline the whole shard,
+    e.g. on a zero-duration task), ``replay`` the per-replica input
+    lists, and rebuild per-job reports from the group templates."""
+    group_members, member_group = _superjob_groups(shard_jobs)
+    resource_ids: dict[object, int] = {}
+    group_inputs: list = []
+    group_template: list = []
+    for members in group_members:
+        pipeline, schedule = shard_jobs[members[0]]
+        flattened, overhead_total = flatten(
+            executor, pipeline, schedule, resource_ids
+        )
+        if flattened is None:  # degenerate zero-duration task
+            return None
+        group_inputs.append(flattened)
+        group_template.append(
+            executor._job_report(pipeline, schedule, overhead_total, 0.0)
+        )
+    n = len(shard_jobs)
+    finish, makespan = replay(
+        [group_inputs[group] for group in member_group],
+        [0.0] * n if shard_arrivals is None else shard_arrivals,
+        len(resource_ids),
+    )
+    reports = [
+        replace(group_template[member_group[position]], total_time=t)
+        for position, t in enumerate(finish)
+    ]
+    return reports, makespan, len(group_members)
+
+
+class EngineBackend:
+    """The generator-engine reference path: supports everything."""
+
+    name = "engine"
+
+    def supports(self, executor, shard_jobs) -> bool:
+        return True
+
+    def simulate(self, executor, shard_jobs, shard_arrivals):
+        reports, makespan = executor._execute_batch_engine(
+            shard_jobs, range(len(shard_jobs)), None, shard_arrivals
+        )
+        return reports, makespan, 0
+
+
+class ChainReplayBackend:
+    """Slim FIFO replay for shards of single connected chains."""
+
+    name = "chain_replay"
+
+    def supports(self, executor, shard_jobs) -> bool:
+        return all(
+            executor._is_single_chain(pipeline)
+            for pipeline, _schedule in shard_jobs
+        )
+
+    def simulate(self, executor, shard_jobs, shard_arrivals):
+        return _replay_shard(
+            executor,
+            shard_jobs,
+            shard_arrivals,
+            flatten=lambda ex, p, s, ids: ex._chain_tasks(p, s, ids),
+            replay=replay_chain_batch,
+        )
+
+
+class DagReplayBackend:
+    """Slim FIFO replay for arbitrary DAG shards: per-replica join
+    counters on the fan-in stages keep branching pipelines (k-point
+    DAGs, super-job replicas) on the one-event-per-occupancy loop."""
+
+    name = "dag_replay"
+
+    def supports(self, executor, shard_jobs) -> bool:
+        return True
+
+    def simulate(self, executor, shard_jobs, shard_arrivals):
+        return _replay_shard(
+            executor,
+            shard_jobs,
+            shard_arrivals,
+            flatten=self._dag_program,
+            replay=replay_dag_batch,
+        )
+
+    @staticmethod
+    def _dag_program(executor, pipeline, schedule, resource_ids):
+        """Flatten one job into a :func:`repro.hw.engine.replay_dag_batch`
+        program: per-stage task lists
+        (:meth:`~repro.core.executor.PipelineExecutor._flatten_stage`,
+        the same pricing/interning walk the chain replay uses) plus
+        predecessor indices, all in topological order.  Returns
+        ``(None, overhead)`` when any duration is non-positive: the
+        replay's banded tie-handling assumes time strictly advances per
+        occupancy, so zero-cost tasks fall back to the generator
+        engine."""
+        overhead_total = executor._eq1_overhead(pipeline, schedule)
+        topo = pipeline.topological_order
+        position_of = {name: i for i, name in enumerate(topo)}
+        stage_tasks: list[list[tuple[int, float]]] = []
+        stage_preds: list[tuple[int, ...]] = []
+        for name in topo:
+            tasks = executor._flatten_stage(
+                pipeline, schedule, name, resource_ids
+            )
+            if any(duration <= 0.0 for _res, duration in tasks):
+                return None, overhead_total
+            stage_tasks.append(tasks)
+            stage_preds.append(
+                tuple(position_of[p] for p in pipeline.predecessors(name))
+            )
+        return (stage_tasks, stage_preds), overhead_total
+
+
+#: The registry, in selection-preference order.  ``engine`` must stay
+#: last: it is the universal fallback every selection walk ends on.
+_REGISTRY: dict[str, SimulationBackend] = {}
+
+
+def register_backend(backend: SimulationBackend) -> None:
+    """Add (or replace) a backend.  New backends are preferred over the
+    ``engine`` fallback but tried after the existing replays."""
+    if _REGISTRY and backend.name != "engine" and "engine" in _REGISTRY:
+        engine = _REGISTRY.pop("engine")
+        _REGISTRY[backend.name] = backend
+        _REGISTRY["engine"] = engine
+    else:
+        _REGISTRY[backend.name] = backend
+
+
+register_backend(ChainReplayBackend())
+register_backend(DagReplayBackend())
+register_backend(EngineBackend())
+
+
+def backend_names() -> tuple[str, ...]:
+    """Registered backend names in selection-preference order."""
+    return tuple(_REGISTRY)
+
+
+def get_backend(name: str) -> SimulationBackend:
+    try:
+        return _REGISTRY[name]
+    except KeyError:
+        raise SimulationError(
+            f"unknown simulation backend {name!r}; registered: "
+            f"{', '.join(_REGISTRY)}"
+        ) from None
+
+
+def iter_backends() -> tuple[SimulationBackend, ...]:
+    return tuple(_REGISTRY.values())

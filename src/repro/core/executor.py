@@ -31,14 +31,15 @@ timing model.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, field
 from typing import Callable, Sequence
 
+import repro.core.backends as _backends
 from repro.core.cost_model import OffloadCostModel
 from repro.core.pipeline import Pipeline
 from repro.core.scheduler import Placement, Schedule
 from repro.errors import SimulationError
-from repro.hw.engine import Engine, Resource, SimProcess, replay_chain_batch
+from repro.hw.engine import Engine, Resource, SimProcess
 from repro.hw.timing import PhaseTime
 
 #: Trace callback: (lane, label, start_seconds, end_seconds).
@@ -48,6 +49,9 @@ TraceObserver = Callable[[str, str, float, float], None]
 #: wire gets its own lane ("link:cpu-ndp", "link:cpu-gpu", ...) because
 #: distinct wires legitimately carry transfers concurrently.
 LINK_LANE_PREFIX = "link"
+
+#: Name of the universal-fallback backend in the registry.
+_ENGINE_BACKEND = "engine"
 
 
 @dataclass(frozen=True)
@@ -90,10 +94,12 @@ class BatchExecutionReport:
 
     ``arrivals`` is the per-job release offset when the batch ran as an
     open queue (``None`` for the classic everyone-at-t=0 closed batch).
-    ``n_shards``/``n_superjobs`` are observability for the scale-out
-    fast path: how many independent contention shards the batch split
-    into and how many signature-coalesced super-jobs they contained
-    (0 when every shard took the uncollapsed engine path).
+    ``n_shards``/``n_superjobs``/``backend_jobs`` are observability for
+    the scale-out fast path: how many independent contention shards the
+    batch split into, how many signature-coalesced super-jobs they
+    contained (0 when every shard took the uncollapsed engine path),
+    and how many jobs each simulation backend
+    (:mod:`repro.core.backends`) timed.
     """
 
     job_reports: tuple[ExecutionReport, ...]
@@ -101,6 +107,8 @@ class BatchExecutionReport:
     arrivals: tuple[float, ...] | None = None
     n_shards: int = 1
     n_superjobs: int = 0
+    #: Jobs simulated per backend name, e.g. ``{"dag_replay": 512}``.
+    backend_jobs: dict[str, int] = field(default_factory=dict)
 
     @property
     def n_jobs(self) -> int:
@@ -225,6 +233,7 @@ class PipelineExecutor:
         arrivals: Sequence[float] | None = None,
         coalesce: bool = True,
         shard: bool = True,
+        backend: str | None = None,
     ) -> BatchExecutionReport:
         """Execute every (pipeline, schedule) job concurrently on one
         shared set of devices.
@@ -239,15 +248,22 @@ class PipelineExecutor:
 
         - ``shard=True`` partitions the batch by contention — jobs whose
           placements touch disjoint device/link sets share no resources,
-          hence no events, so each partition runs on its own engine;
+          hence no events, so each partition runs on its own simulation;
         - ``coalesce=True`` folds jobs with identical pipeline/schedule
           objects (what the framework's signature caches hand out for
-          duplicate jobs) into weighted super-jobs — one shared task
-          list, overhead and report template per signature, replayed
-          once per replica — and runs all-chain shards through the
-          allocation-lean FIFO replay
-          (:func:`repro.hw.engine.replay_chain_batch`) instead of the
-          generator engine.
+          duplicate jobs) into weighted super-jobs and hands each shard
+          to the first registered simulation backend
+          (:mod:`repro.core.backends`) that supports it: the slim chain
+          FIFO replay, the DAG replay (join counters on fan-in stages),
+          or the generator engine as the universal fallback.
+
+        ``backend`` names one registered backend to force for every
+        shard (the serving benchmark's A/B switch); a forced backend
+        that cannot simulate a shard raises :class:`SimulationError`
+        instead of silently falling back.  ``coalesce=False`` pins the
+        uncollapsed engine path, preserving the pre-backend semantics —
+        combining it with a forced non-engine backend (which coalesces
+        by construction) is a contradiction and raises too.
 
         Passing any ``observer`` forces the uncollapsed, unsharded DES:
         trace consumers see the exact event stream of one shared engine.
@@ -266,7 +282,18 @@ class PipelineExecutor:
                     raise SimulationError(
                         f"negative arrival offset: {offset}"
                     )
+        forced = None if backend is None else _backends.get_backend(backend)
+        if forced is not None and not coalesce and forced.name != _ENGINE_BACKEND:
+            raise SimulationError(
+                "coalesce=False pins the uncollapsed engine path; it "
+                f"cannot be combined with backend={backend!r}"
+            )
         if observer is not None:
+            if forced is not None and forced.name != _ENGINE_BACKEND:
+                raise SimulationError(
+                    "a trace observer forces the uncollapsed engine DES; "
+                    f"it cannot be combined with backend={backend!r}"
+                )
             job_reports, makespan = self._execute_batch_engine(
                 jobs, range(n), observer, arrivals
             )
@@ -274,6 +301,7 @@ class PipelineExecutor:
                 job_reports=tuple(job_reports),
                 makespan=makespan,
                 arrivals=None if arrivals is None else tuple(arrivals),
+                backend_jobs={_ENGINE_BACKEND: n},
             )
 
         shards = (
@@ -282,26 +310,19 @@ class PipelineExecutor:
         reports: list[ExecutionReport | None] = [None] * n
         makespan = 0.0
         n_superjobs = 0
+        backend_jobs: dict[str, int] = {}
         for indices in shards:
             shard_jobs = [jobs[i] for i in indices]
             shard_arrivals = (
                 None if arrivals is None else [arrivals[i] for i in indices]
             )
-            replayed = None
-            if coalesce and all(
-                self._is_single_chain(pipeline)
-                for pipeline, _schedule in shard_jobs
-            ):
-                replayed = self._execute_chain_shard(
-                    shard_jobs, shard_arrivals
+            chosen, shard_reports, shard_makespan, shard_groups = (
+                self._simulate_shard(
+                    shard_jobs, shard_arrivals, coalesce, forced
                 )
-            if replayed is not None:
-                shard_reports, shard_makespan, shard_groups = replayed
-                n_superjobs += shard_groups
-            else:
-                shard_reports, shard_makespan = self._execute_batch_engine(
-                    shard_jobs, indices, None, shard_arrivals
-                )
+            )
+            n_superjobs += shard_groups
+            backend_jobs[chosen] = backend_jobs.get(chosen, 0) + len(indices)
             for index, report in zip(indices, shard_reports):
                 reports[index] = report
             if shard_makespan > makespan:
@@ -312,6 +333,7 @@ class PipelineExecutor:
             arrivals=None if arrivals is None else tuple(arrivals),
             n_shards=len(shards),
             n_superjobs=n_superjobs,
+            backend_jobs=backend_jobs,
         )
 
     # ------------------------------------------------------------------
@@ -363,63 +385,83 @@ class PipelineExecutor:
             shards.setdefault(find(i), []).append(i)
         return list(shards.values())
 
-    def _execute_chain_shard(
+    def _simulate_shard(
         self,
         shard_jobs: list[tuple[Pipeline, Schedule]],
         shard_arrivals: list[float] | None,
-    ) -> tuple[list[ExecutionReport], float, int] | None:
-        """Run one all-chain shard through the FIFO replay, or ``None``
-        when the shard is ineligible (a zero-duration task under a
-        degenerate cost model) and must take the engine path.
+        coalesce: bool,
+        forced: "_backends.SimulationBackend | None",
+    ) -> tuple[str, list[ExecutionReport], float, int]:
+        """Time one contention shard through the backend layer.
 
-        Jobs are grouped into super-jobs by pipeline/schedule identity;
-        each group's task list, Eq. 1 overhead and report template are
-        derived once and shared by every replica — the replay walks one
-        per-replica cursor over the group's tasks, so per-replica
-        completion times fall out of FIFO semantics exactly (stage
-        waves included, see :func:`repro.hw.engine.replay_chain_batch`).
-        Returns per-job reports in shard order, the shard makespan, and
-        the super-job count.
+        The default walk tries every registered backend in preference
+        order (chain replay, DAG replay, engine) and takes the first
+        that supports the shard and does not decline it; the engine
+        backend supports everything, so the walk always terminates.
+        ``coalesce=False`` pins the engine (the uncollapsed reference
+        semantics); ``forced`` pins one named backend and raises when
+        that backend cannot simulate the shard.  Returns the chosen
+        backend's name, the per-job reports in shard order, the shard
+        makespan, and the super-job count.
         """
-        group_index: dict[tuple[int, int], int] = {}
-        group_members: list[list[int]] = []
-        member_group: list[int] = []
-        for position, (pipeline, schedule) in enumerate(shard_jobs):
-            key = (id(pipeline), id(schedule))
-            group = group_index.get(key)
-            if group is None:
-                group = group_index[key] = len(group_members)
-                group_members.append([])
-            group_members[group].append(position)
-            member_group.append(group)
-
-        resource_ids: dict[object, int] = {}
-        group_tasks: list[list[tuple[int, float, int]]] = []
-        group_template: list[ExecutionReport] = []
-        for members in group_members:
-            pipeline, schedule = shard_jobs[members[0]]
-            tasks, overhead_total = self._chain_tasks(
-                pipeline, schedule, resource_ids
-            )
-            if tasks is None:  # degenerate zero-duration task
-                return None
-            group_tasks.append(tasks)
-            group_template.append(
-                self._job_report(pipeline, schedule, overhead_total, 0.0)
-            )
-
-        n = len(shard_jobs)
-        job_tasks = [group_tasks[group] for group in member_group]
-        finish, makespan = replay_chain_batch(
-            job_tasks,
-            [0.0] * n if shard_arrivals is None else shard_arrivals,
-            len(resource_ids),
+        if forced is not None:
+            candidates: tuple = (forced,)
+        elif coalesce:
+            candidates = _backends.iter_backends()
+        else:
+            candidates = (_backends.get_backend(_ENGINE_BACKEND),)
+        for candidate in candidates:
+            if not candidate.supports(self, shard_jobs):
+                continue
+            result = candidate.simulate(self, shard_jobs, shard_arrivals)
+            if result is not None:
+                reports, makespan, groups = result
+                return candidate.name, reports, makespan, groups
+        raise SimulationError(
+            f"backend {candidates[-1].name!r} cannot simulate a "
+            f"{len(shard_jobs)}-job shard (unsupported shape or "
+            "zero-duration task) and no fallback is allowed"
         )
-        reports = [
-            replace(group_template[member_group[position]], total_time=t)
-            for position, t in enumerate(finish)
-        ]
-        return reports, makespan, len(group_members)
+
+    def _flatten_stage(
+        self,
+        pipeline: Pipeline,
+        schedule: Schedule,
+        name: str,
+        resource_ids: dict[object, int],
+    ) -> list[tuple[int, float]]:
+        """One stage as FIFO-replay tasks: ``(resource index, duration)``
+        pairs — each boundary-crossing in-edge's transfer on the owning
+        wire (in-edge order), then the stage on its device — exactly the
+        acquire sequence :meth:`_spawn_job`'s stage processes perform.
+        ``resource_ids`` interns devices (:class:`Placement`) and wires
+        (placement-pair frozensets) shard-wide, so replicas and distinct
+        groups contend on the same indices.  The single pricing/interning
+        walk both replay backends flatten through — change boundary
+        pricing here and the chain replay, the DAG replay and the engine
+        (via :meth:`_eq1_overhead`'s cross-check) stay in lockstep."""
+        placement = schedule.assignments[name]
+        tasks: list[tuple[int, float]] = []
+        for edge in pipeline.in_edges(name):
+            src = schedule.assignments[edge.src]
+            if src is not placement:
+                pair = frozenset((src, placement))
+                wire = resource_ids.get(pair)
+                if wire is None:
+                    wire = resource_ids[pair] = len(resource_ids)
+                tasks.append(
+                    (
+                        wire,
+                        self.cost_model.boundary_cost(
+                            edge.nbytes, (src, placement)
+                        ),
+                    )
+                )
+        device = resource_ids.get(placement)
+        if device is None:
+            device = resource_ids[placement] = len(resource_ids)
+        tasks.append((device, schedule.stage_times[name].total))
+        return tasks
 
     def _chain_tasks(
         self,
@@ -430,17 +472,12 @@ class PipelineExecutor:
         """Flatten one single-chain job into FIFO-replay tasks.
 
         Tasks are ``(resource index, duration, entry_hop)`` in chain
-        order — each stage's boundary transfer(s) on the owning wire,
-        then the stage on its device — exactly the acquire sequence
-        :meth:`_spawn_job`'s stage processes perform.  ``entry_hop`` is
-        the engine's same-instant cascade distance from the previous
-        task's completion to this task's acquire (1 within a stage, 2
-        across a stage boundary; see
-        :func:`repro.hw.engine.replay_chain_batch`).  ``resource_ids``
-        interns devices (:class:`Placement`) and wires (placement-pair
-        frozensets) shard-wide, so replicas and distinct groups contend
-        on the same indices.  The job total comes from
-        :meth:`_eq1_overhead` (the one scheduler-order summation).
+        order (:meth:`_flatten_stage` per stage).  ``entry_hop`` is the
+        engine's same-instant cascade distance from the previous task's
+        completion to this task's acquire (1 within a stage, 2 across a
+        stage boundary; see :func:`repro.hw.engine.replay_chain_batch`).
+        The job total comes from :meth:`_eq1_overhead` (the one
+        scheduler-order summation).
 
         Returns ``(None, overhead)`` when any duration is non-positive:
         the replay's banded tie-handling assumes time strictly advances
@@ -450,32 +487,16 @@ class PipelineExecutor:
         overhead_total = self._eq1_overhead(pipeline, schedule)
         tasks: list[tuple[int, float, int]] = []
         for name in pipeline.topological_order:
-            placement = schedule.assignments[name]
-            stage_first = True
-            for edge in pipeline.in_edges(name):
-                src = schedule.assignments[edge.src]
-                if src is not placement:
-                    pair = frozenset((src, placement))
-                    wire = resource_ids.get(pair)
-                    if wire is None:
-                        wire = resource_ids[pair] = len(resource_ids)
-                    tasks.append(
-                        (
-                            wire,
-                            self.cost_model.boundary_cost(
-                                edge.nbytes, (src, placement)
-                            ),
-                            2,
-                        )
-                    )
-                    stage_first = False
-            device = resource_ids.get(placement)
-            if device is None:
-                device = resource_ids[placement] = len(resource_ids)
-            entry_hop = 1 if not stage_first else (2 if tasks else 0)
-            tasks.append(
-                (device, schedule.stage_times[name].total, entry_hop)
+            stage_tasks = self._flatten_stage(
+                pipeline, schedule, name, resource_ids
             )
+            for wire, cost in stage_tasks[:-1]:
+                tasks.append((wire, cost, 2))
+            device, duration = stage_tasks[-1]
+            entry_hop = (
+                1 if len(stage_tasks) > 1 else (2 if tasks else 0)
+            )
+            tasks.append((device, duration, entry_hop))
         if any(duration <= 0.0 for _res, duration, _hop in tasks):
             return None, overhead_total
         return tasks, overhead_total

@@ -46,10 +46,13 @@ measurement and asserts the results are identical either way.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
+from pathlib import Path
 from typing import Callable, Sequence
 
 from repro.core.arrivals import percentile
+from repro.core.backends import backend_names
 from repro.core.cost_model import OffloadCostModel, serial_links
 from repro.core.executor import (
     BatchExecutionReport,
@@ -68,9 +71,12 @@ from repro.core.scheduler import (
 )
 from repro.core.signature import (
     JobSignature,
+    cost_model_fingerprint,
     job_signature,
     structure_signature,
+    target_registry_fingerprint,
 )
+from repro.errors import ConfigError
 from repro.dft.workload import ProblemSize, problem_size
 from repro.hw.config import SystemConfig, gpu_baseline_config, ndft_system_config
 from repro.hw.cpu import CpuModel
@@ -260,6 +266,9 @@ class NdftFramework:
         #: NDP geometry) — computed once per distinct n_atoms, not per
         #: batch member; bounded for the same reason as the caches.
         self._footprint_cache: LruCache = LruCache(cache_size)
+        #: Jobs simulated per backend name across every ``run_many``
+        #: call (see :attr:`backend_stats`).
+        self._backend_jobs: dict[str, int] = {}
         self.host = CpuModel(self.system.host)
         self.ndp = NdpSystemModel(self.system.ndp)
         self.gpu = GpuModel(gpu_baseline_config()) if enable_gpu else None
@@ -330,6 +339,16 @@ class NdftFramework:
         stats["warm_start_misses"] = self._warm_start_misses
         return stats
 
+    @property
+    def backend_stats(self) -> dict[str, int]:
+        """Jobs simulated per registered simulation backend across every
+        ``run_many`` call — the ``cache_stats``-style observability for
+        the executor's backend layer (:mod:`repro.core.backends`).
+        Every registered backend appears, zero-counted until used."""
+        stats = {name: 0 for name in backend_names()}
+        stats.update(self._backend_jobs)
+        return stats
+
     # ------------------------------------------------------------------
     # Target registry + caches
     # ------------------------------------------------------------------
@@ -361,6 +380,156 @@ class NdftFramework:
         self._signature_cache.clear()
         self._warm_start_index.clear()
         self._footprint_cache.clear()
+
+    # ------------------------------------------------------------------
+    # Cache snapshots (serving deployments surviving process restarts)
+    # ------------------------------------------------------------------
+    #: Snapshot payload version; bumped whenever the persisted layout
+    #: changes so stale files are refused instead of misread.
+    CACHE_SNAPSHOT_FORMAT = 1
+
+
+    def cache_fingerprint(self) -> tuple:
+        """The identity the persisted caches are sound under: policy,
+        the full :class:`~repro.hw.config.SystemConfig` (the machine
+        parameters every stage time derives from — a
+        :class:`~repro.core.signature.JobSignature` can omit them only
+        because its registry fingerprint is process-local), the target
+        registry, and the cost-model parameters.  Two frameworks with
+        equal fingerprints provably derive identical schedules/reports
+        for equal jobs, so loading one's snapshot into the other never
+        changes results.
+
+        Soundness caveat the snapshot paths enforce: the registry
+        fingerprint stands in for machine identity with a *per-process*
+        registration counter, which distinguishes nothing across a
+        process boundary — two processes that each ``register_target`` a
+        *different* machine under the same name would fingerprint equal.
+        Within one process the constructor-built registries (the Table
+        III system, ``enable_gpu=True``) are pure functions of the
+        constructor arguments, so snapshots are only allowed while the
+        registry is untouched (:meth:`save_caches`/:meth:`load_caches`
+        refuse after any ``register_target``)."""
+        return (
+            self.policy,
+            self.system,
+            target_registry_fingerprint(self.scheduler),
+            cost_model_fingerprint(self.cost_model),
+        )
+
+    def _check_snapshot_registry(self, action: str) -> None:
+        """Refuse snapshot traffic once ``register_target`` has run:
+        custom-registered machine objects cannot be fingerprinted across
+        processes, so persisted entries derived under them cannot be
+        proven valid in another process."""
+        if self.scheduler.registry_version != 0:
+            raise ConfigError(
+                f"cannot {action} a cache snapshot after register_target: "
+                "custom-registered machines have no cross-process "
+                "fingerprint, so snapshot soundness cannot be checked"
+            )
+
+    def _snapshot_caches(self) -> dict[str, LruCache]:
+        """The caches a snapshot persists (save and load both iterate
+        this one mapping): exactly the derivation work worth saving
+        across processes — the placement DP, the SCA pass, the solo DES
+        run, the warm-start index, the footprint closed forms.  The
+        pipeline and signature caches stay out deliberately: their keys
+        embed builder callables and object ids, which do not survive a
+        process boundary, and rebuilding a pipeline is cheap."""
+        return {
+            "schedule": self._schedule_cache,
+            "solo": self._solo_report_cache,
+            "sca": self._sca_cache,
+            "warm_start": self._warm_start_index,
+            "footprint": self._footprint_cache,
+        }
+
+    def save_caches(self, path: Path | str) -> Path:
+        """Snapshot the signature-keyed caches to ``path`` so a restarted
+        serving process can :meth:`load_caches` instead of re-deriving
+        its working set cold.  The snapshot embeds
+        :meth:`cache_fingerprint`; loading refuses a mismatch."""
+        self._check_snapshot_registry("save")
+        payload = {
+            "format": self.CACHE_SNAPSHOT_FORMAT,
+            "fingerprint": self.cache_fingerprint(),
+            "caches": {
+                name: cache.items()
+                for name, cache in self._snapshot_caches().items()
+            },
+        }
+        path = Path(path)
+        with path.open("wb") as handle:
+            pickle.dump(payload, handle)
+        return path
+
+    def load_caches(self, path: Path | str) -> int:
+        """Merge a :meth:`save_caches` snapshot into this framework's
+        caches and return the number of entries loaded.
+
+        Soundness gate: the snapshot's fingerprint (policy + target
+        registry + cost model) must equal this framework's — memoized
+        schedules and reports are only valid under the exact machine
+        parameters they were derived with, so a mismatch raises
+        :class:`~repro.errors.ConfigError` rather than serving stale
+        numbers.  Entries land via normal puts (LRU bounds and eviction
+        counters apply); signature-keyed entries under equal keys are
+        overwritten with provably identical values, while warm-start
+        index entries — whose per-structure size maps are workload-
+        history-dependent — are *merged*, snapshot sizes under already-
+        known ones, so locally learned hints survive the load.
+
+        Trust caveat: the snapshot is a pickle, deserialized *before*
+        the format/fingerprint checks can reject it — loading executes
+        whatever the file encodes, so only load snapshots written by a
+        process you trust (the intended use: this service's own
+        :meth:`save_caches` output on local disk)."""
+        self._check_snapshot_registry("load")
+        path = Path(path)
+        with path.open("rb") as handle:
+            payload = pickle.load(handle)
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != self.CACHE_SNAPSHOT_FORMAT
+        ):
+            raise ConfigError(
+                f"{path} is not a cache snapshot this version understands "
+                f"(expected format {self.CACHE_SNAPSHOT_FORMAT})"
+            )
+        fingerprint = self.cache_fingerprint()
+        if payload.get("fingerprint") != fingerprint:
+            raise ConfigError(
+                "refusing cache snapshot: it was taken under a different "
+                "policy/target-registry/cost-model fingerprint "
+                f"({payload.get('fingerprint')!r} vs {fingerprint!r}); "
+                "re-derive instead of serving stale schedules"
+            )
+        loaded = 0
+        for name, cache in self._snapshot_caches().items():
+            for key, value in payload["caches"].get(name, ()):
+                if name == "warm_start":
+                    existing = cache.peek(key)
+                    if existing is not None:
+                        existing.update(
+                            (size, placements)
+                            for size, placements in value.items()
+                            if size not in existing
+                        )
+                    else:
+                        existing = dict(value)
+                        cache.put(key, existing)
+                    # Re-apply _remember_placement's per-structure FIFO
+                    # cap: a snapshot from a roomier framework must not
+                    # grow a bounded one's index past its own bound.
+                    if self.cache_size is not None:
+                        while len(existing) > self.cache_size:
+                            del existing[next(iter(existing))]
+                    loaded += 1
+                    continue
+                cache.put(key, value)
+                loaded += 1
+        return loaded
 
     def job_signature(self, pipeline: Pipeline) -> JobSignature:
         """The content-addressed key this framework memoizes ``pipeline``
@@ -412,6 +581,7 @@ class NdftFramework:
         arrivals: Sequence[float] | None = None,
         coalesce: bool = True,
         shard: bool = True,
+        backend: str | None = None,
     ) -> NdftBatchResult:
         """Schedule and execute a batch of heterogeneous jobs through one
         shared machine.
@@ -436,7 +606,10 @@ class NdftFramework:
         only the shared-machine simulation sees every submitted job.
         ``coalesce``/``shard`` control the executor's scale-out fast
         path (signature-coalesced super-jobs, contention-sharded
-        engines); results are bit-identical either way.
+        engines); ``backend`` forces one named simulation backend for
+        every shard (:mod:`repro.core.backends`; the default lets the
+        registry pick the fastest supporting one per shard).  Results
+        are bit-identical whichever backend simulates.
         """
         if not batch:
             raise ValueError("run_many needs at least one job")
@@ -463,7 +636,10 @@ class NdftFramework:
             arrivals=arrivals,
             coalesce=coalesce,
             shard=shard,
+            backend=backend,
         )
+        for name, count in batch_report.backend_jobs.items():
+            self._backend_jobs[name] = self._backend_jobs.get(name, 0) + count
         solo_times = tuple(
             self._solo_report(pipeline, schedule, signature).total_time
             for _p, pipeline, schedule, signature in jobs
@@ -550,8 +726,17 @@ class NdftFramework:
             return None
         n_atoms = pipeline.problem.n_atoms
         nearest = min(neighbors, key=lambda size: (abs(size - n_atoms), size))
+        # Placements are stored name-free (topological order), so a
+        # same-shape pipeline with different stage names rehydrates to
+        # its own names here.
+        hint = CostAwareScheduler.rehydrate_placements(
+            pipeline, neighbors[nearest]
+        )
+        if hint is None:
+            self._warm_start_misses += 1
+            return None
         self._warm_start_hits += 1
-        return neighbors[nearest]
+        return hint
 
     def _remember_placement(
         self,
@@ -567,7 +752,11 @@ class NdftFramework:
         if neighbors is None:
             neighbors = {}
             self._warm_start_index.put(key, neighbors)
-        neighbors[pipeline.problem.n_atoms] = schedule.assignments
+        neighbors[pipeline.problem.n_atoms] = (
+            CostAwareScheduler.normalize_placements(
+                pipeline, schedule.assignments
+            )
+        )
         # FIFO cap on sizes per structure: hints are a heuristic, so
         # dropping the oldest size costs at most a colder search.
         if self.cache_size is not None and len(neighbors) > self.cache_size:

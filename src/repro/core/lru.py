@@ -60,6 +60,11 @@ class LruCache:
         """Uncounted lookup that does not touch recency or counters."""
         return self._data.get(key, default)
 
+    def items(self) -> list[tuple[Hashable, Any]]:
+        """Every (key, value) pair in LRU-to-MRU order, without touching
+        recency or counters — what cache snapshots persist."""
+        return list(self._data.items())
+
     def clear(self) -> None:
         """Drop every entry; counters are preserved."""
         self._data.clear()

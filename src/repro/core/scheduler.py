@@ -361,6 +361,31 @@ class CostAwareScheduler:
         total = self.evaluate(pipeline, warm_start).predicted_total
         return total * (1.0 + self.WARM_START_SLACK)
 
+    @staticmethod
+    def normalize_placements(
+        pipeline: Pipeline, assignments: dict[str, Placement]
+    ) -> tuple[Placement, ...]:
+        """A complete assignment as placements in topological-stage
+        order — the name-free form the framework's warm-start index
+        stores, so same-shape pipelines with different stage names (e.g.
+        k-point DAGs built under different naming conventions) can seed
+        each other's searches."""
+        return tuple(assignments[name] for name in pipeline.topological_order)
+
+    @staticmethod
+    def rehydrate_placements(
+        pipeline: Pipeline, placements: tuple[Placement, ...]
+    ) -> dict[str, Placement] | None:
+        """Rebind a normalized placement tuple to ``pipeline``'s stage
+        names (the inverse of :meth:`normalize_placements` under the
+        pipeline's own topological order), or ``None`` when the lengths
+        disagree — a stale hint degrades to a cold search, never an
+        error."""
+        order = pipeline.topological_order
+        if len(placements) != len(order):
+            return None
+        return dict(zip(order, placements))
+
     def _exhaustive_best(self, pipeline: Pipeline) -> Schedule:
         """Brute-force enumeration over targets^stages — kept as the
         oracle the DP is validated against on small graphs (<= 8 stages

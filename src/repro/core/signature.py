@@ -102,18 +102,28 @@ def structure_signature(
 ) -> tuple:
     """The size-blind sibling of :func:`job_signature`.
 
-    Covers the pipeline's *shape* (stage names and edge topology, not
-    workload numbers) plus everything else a placement decision depends
-    on.  Two jobs sharing a structure signature usually share a
-    placement even when their sizes differ — which is what lets the
-    framework warm-start the placement DP for a never-seen size from the
-    nearest same-structure neighbor's cached assignment.  Unlike the job
-    signature this is a *heuristic* key: it only seeds a bound, never a
-    result, so collisions cost time, not correctness.
+    Covers the pipeline's *shape* — stage count and edge topology with
+    stages identified by topological position, not by name — plus
+    everything else a placement decision depends on.  Name
+    normalization is deliberate: two same-shape DAGs whose stages are
+    merely labelled differently (k-point pipelines built under another
+    naming convention, hand-assembled chains) share a signature, so the
+    framework can warm-start the placement DP for one from the other's
+    cached assignment (stored name-free via
+    :meth:`~repro.core.scheduler.CostAwareScheduler.normalize_placements`).
+    Unlike the job signature this is a *heuristic* key: it only seeds a
+    bound, never a result, so collisions cost time, not correctness.
     """
+    position = {
+        name: index
+        for index, name in enumerate(pipeline.topological_order)
+    }
     return (
-        tuple(stage.name for stage in pipeline.stages),
-        tuple((edge.src, edge.dst) for edge in pipeline.edges),
+        len(position),
+        tuple(
+            (position[edge.src], position[edge.dst])
+            for edge in pipeline.edges
+        ),
         policy,
         target_registry_fingerprint(scheduler),
         cost_model_fingerprint(cost_model),

@@ -19,6 +19,14 @@ Two trend signals, because wall-clock numbers are host-specific:
   kernel build, which churns with runner images); on a mismatch the
   deltas are printed as advisory context instead.
 
+The open-queue block is gated too: **p99 completion latency** (virtual
+seconds, from each point's ``arrival`` measurement) fails CI when the
+fresh p99 *grows* beyond the tolerance at any shared batch size — but
+only when the two measurements are actually comparable: same host class
+(the throughput gate's refusal rules) and the same offered load and
+arrival seed (a different Poisson process is a different experiment,
+not a regression).
+
 Structural problems — a baseline-only (``--no-cache``) file, no shared
 batch sizes — are refused outright regardless of host metadata.  The
 comparison is deliberately coarse (default: 30 % regression, on
@@ -98,6 +106,20 @@ def compare_serving_reports(
                 "only); its throughput columns hold baseline numbers and "
                 "cannot be trended"
             ]
+    # A forced simulation backend (--backend) is a different experiment:
+    # an engine-forced sweep is legitimately several times slower than
+    # the auto-selected replays, so trending the two against each other
+    # produces spurious verdicts in both directions.  Files predating
+    # the field (no "backend" key) read as auto-selected.
+    backend_committed = committed.get("backend")
+    backend_fresh = fresh.get("backend")
+    if backend_committed != backend_fresh:
+        return [
+            "committed and fresh reports were measured under different "
+            f"simulation backends ({backend_committed or 'auto'} vs "
+            f"{backend_fresh or 'auto'}) and cannot be trended against "
+            "each other"
+        ]
     failures = []
     committed_points = _points_by_batch_size(committed)
     fresh_points = _points_by_batch_size(fresh)
@@ -122,15 +144,45 @@ def compare_serving_reports(
             continue
         before = point_before.get("jobs_per_second_cached")
         after = point_after.get("jobs_per_second_cached")
-        if before is None or after is None:
-            continue
-        if after < before * (1.0 - max_regression):
-            failures.append(
-                f"batch {batch_size}: cached throughput regressed "
-                f"{before:.1f} -> {after:.1f} jobs/s "
-                f"({after / before - 1.0:+.1%}, tolerance -{max_regression:.0%})"
-            )
+        if before is not None and after is not None:
+            if after < before * (1.0 - max_regression):
+                failures.append(
+                    f"batch {batch_size}: cached throughput regressed "
+                    f"{before:.1f} -> {after:.1f} jobs/s "
+                    f"({after / before - 1.0:+.1%}, "
+                    f"tolerance -{max_regression:.0%})"
+                )
+        p99_pair = _comparable_p99(point_before, point_after)
+        if p99_pair is not None:
+            p99_before, p99_after = p99_pair
+            if p99_after > p99_before * (1.0 + max_regression):
+                failures.append(
+                    f"batch {batch_size}: open-queue p99 latency regressed "
+                    f"{p99_before:.4f} -> {p99_after:.4f} s "
+                    f"({p99_after / p99_before - 1.0:+.1%}, "
+                    f"tolerance +{max_regression:.0%})"
+                )
     return failures
+
+
+def _comparable_p99(
+    point_before: dict, point_after: dict
+) -> tuple[float, float] | None:
+    """The two points' p99 latencies, when their open-queue measurements
+    can be trended against each other: both present, positive baseline,
+    and the same offered load and arrival seed (a changed rate or seed
+    is a different experiment)."""
+    arrival_before = point_before.get("arrival") or {}
+    arrival_after = point_after.get("arrival") or {}
+    before = arrival_before.get("p99_latency_seconds")
+    after = arrival_after.get("p99_latency_seconds")
+    if before is None or after is None or before <= 0:
+        return None
+    if arrival_before.get("rate_jobs_per_second") != arrival_after.get(
+        "rate_jobs_per_second"
+    ) or arrival_before.get("seed") != arrival_after.get("seed"):
+        return None
+    return before, after
 
 
 def format_comparison(
@@ -164,9 +216,17 @@ def format_comparison(
                 speedups = (
                     f", speedup {speedup_before:.2f}x -> {speedup_after:.2f}x"
                 )
+            p99_pair = _comparable_p99(
+                committed_points[batch_size], fresh_points[batch_size]
+            )
+            p99_note = ""
+            if p99_pair is not None:
+                p99_note = (
+                    f", p99 {p99_pair[0]:.4f} -> {p99_pair[1]:.4f} s"
+                )
             lines.append(
                 f"  batch {batch_size:5d}: {before:10.1f} -> {after:10.1f} "
-                f"jobs/s ({after / before - 1.0:+.1%}{speedups})"
+                f"jobs/s ({after / before - 1.0:+.1%}{speedups}{p99_note})"
             )
     if failures:
         lines.append("FAIL:")

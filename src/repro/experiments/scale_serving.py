@@ -20,6 +20,13 @@ around.  This driver measures exactly that:
   arrivals at ``--arrival-rate`` jobs of virtual time per second) and
   record the p50/p99 completion latency and mean queueing delay — the
   serving-model metrics;
+- record the per-point simulation-backend breakdown (who actually timed
+  the batch — chain replay, DAG replay or the generator engine; see
+  :mod:`repro.core.backends`), with ``--backend`` forcing one backend
+  for every measurement (the replay-vs-engine A/B switch);
+- optionally sweep offered load (``--arrival-sweep``): the same mix at
+  each rate of a grid, recording the latency-vs-load curve and the
+  saturation knee (:func:`run_arrival_sweep`);
 - emit the measurements as ``BENCH_serving.json`` — tagged with host
   metadata (Python version, platform, CPU count) so CI trend
   comparisons (:mod:`repro.experiments.bench_compare`) are
@@ -53,6 +60,16 @@ DEFAULT_MIX = (64, 128, 512, 1024)
 #: capacity of the default mix (~3.8 jobs/s), so queues form without
 #: saturating.
 DEFAULT_ARRIVAL_RATE = 2.0
+#: Default offered-load grid for ``--arrival-sweep``: from comfortably
+#: under the default mix's simulated capacity (~3.8 jobs/s) to past it,
+#: so the latency-vs-load curve shows both the flat region and the
+#: saturation blow-up.
+DEFAULT_SWEEP_RATES = (1.0, 2.0, 3.0, 3.5, 4.0, 5.0)
+#: Jobs per sweep point (one mid-sized batch keeps the sweep quick).
+DEFAULT_SWEEP_BATCH = 256
+#: A sweep point is past the saturation knee once its p99 latency
+#: exceeds this multiple of the lowest-rate point's p99.
+KNEE_LATENCY_FACTOR = 2.0
 def _repo_root() -> Path:
     """The checkout root (where pyproject.toml lives) when running from
     a source tree; the current directory for installed copies, where
@@ -93,13 +110,15 @@ def measure_run_many(
     memoize: bool,
     repeats: int = 3,
     arrivals: Sequence[float] | None = None,
+    backend: str | None = None,
 ) -> tuple[float, NdftBatchResult]:
     """Best-of-``repeats`` wall-clock seconds for one cold ``run_many``.
 
     A fresh framework per repeat keeps every measurement cold-cache; the
     minimum over repeats is the standard noise filter for wall-clock
     micro-measurements.  ``arrivals`` forwards release offsets (the
-    open-queue serving mode)."""
+    open-queue serving mode) and ``backend`` forces one simulation
+    backend (:mod:`repro.core.backends`) — the serve-bench A/B switch."""
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     best = float("inf")
@@ -107,7 +126,11 @@ def measure_run_many(
     for _ in range(repeats):
         framework = NdftFramework(memoize=memoize)
         start = time.perf_counter()
-        result = framework.run_many(sizes, arrivals=arrivals)
+        result = framework.run_many(
+            sizes,
+            arrivals=arrivals,
+            backend=backend,
+        )
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
     assert result is not None
@@ -154,6 +177,9 @@ class ServePoint:
     results_identical: bool | None
     #: Open-queue companion measurement (``None`` when disabled).
     arrival: ArrivalPoint | None = None
+    #: Jobs per simulation backend in the reference run — the
+    #: per-backend breakdown of who actually timed the batch.
+    backend_jobs: dict | None = None
 
     @property
     def jobs_per_second_cached(self) -> float:
@@ -174,6 +200,113 @@ class ServePoint:
 
 
 @dataclass(frozen=True)
+class ArrivalSweepPoint:
+    """One offered-load point of the latency-vs-load sweep."""
+
+    rate: float
+    wall_seconds: float
+    makespan: float
+    p50_latency: float
+    p99_latency: float
+    mean_queueing_delay: float
+
+    def to_json_dict(self) -> dict:
+        return {
+            "rate_jobs_per_second": self.rate,
+            "wall_seconds": self.wall_seconds,
+            "makespan_seconds": self.makespan,
+            "p50_latency_seconds": self.p50_latency,
+            "p99_latency_seconds": self.p99_latency,
+            "mean_queueing_delay_seconds": self.mean_queueing_delay,
+        }
+
+
+@dataclass(frozen=True)
+class ArrivalSweep:
+    """Latency vs offered load over a rate grid, plus the saturation
+    knee: the lowest swept rate whose p99 latency exceeds
+    :data:`KNEE_LATENCY_FACTOR` times the lowest-rate point's p99
+    (``None`` while every point stays under it)."""
+
+    batch_size: int
+    seed: int
+    points: tuple[ArrivalSweepPoint, ...]
+    knee_rate: float | None
+
+    def to_json_dict(self) -> dict:
+        return {
+            "batch_size": self.batch_size,
+            "seed": self.seed,
+            "knee_latency_factor": KNEE_LATENCY_FACTOR,
+            "knee_rate_jobs_per_second": self.knee_rate,
+            "points": [p.to_json_dict() for p in self.points],
+        }
+
+
+def find_saturation_knee(
+    points: Sequence[ArrivalSweepPoint],
+    factor: float = KNEE_LATENCY_FACTOR,
+) -> float | None:
+    """The lowest swept rate whose p99 latency exceeds ``factor`` times
+    the lowest-rate point's p99 — the point the latency-vs-load curve
+    turns the corner.  ``None`` when no point exceeds it (the sweep
+    never reached saturation)."""
+    if not points:
+        return None
+    ordered = sorted(points, key=lambda p: p.rate)
+    baseline = ordered[0].p99_latency
+    for point in ordered:
+        if point.p99_latency > factor * baseline:
+            return point.rate
+    return None
+
+
+def run_arrival_sweep(
+    rates: Sequence[float] = DEFAULT_SWEEP_RATES,
+    batch_size: int = DEFAULT_SWEEP_BATCH,
+    mix: tuple[int, ...] = DEFAULT_MIX,
+    repeats: int = 3,
+    seed: int = 0,
+    memoize: bool = True,
+    backend: str | None = None,
+) -> ArrivalSweep:
+    """Sweep offered load over ``rates``: the same ``batch_size``-job mix
+    released by a seeded Poisson process at each rate, recording the
+    latency-vs-load curve and the saturation knee."""
+    if not rates:
+        raise ValueError("arrival sweep needs at least one rate")
+    if any(rate <= 0 for rate in rates):
+        raise ValueError(f"arrival rates must be positive, got {rates!r}")
+    sizes = job_mix(batch_size, mix)
+    points = []
+    for rate in sorted(rates):
+        offsets = poisson_arrivals(len(sizes), rate, seed=seed)
+        wall, result = measure_run_many(
+            sizes,
+            memoize=memoize,
+            repeats=repeats,
+            arrivals=offsets,
+            backend=backend,
+        )
+        points.append(
+            ArrivalSweepPoint(
+                rate=rate,
+                wall_seconds=wall,
+                makespan=result.makespan,
+                p50_latency=result.p50_latency,
+                p99_latency=result.p99_latency,
+                mean_queueing_delay=result.mean_queueing_delay,
+            )
+        )
+    return ArrivalSweep(
+        batch_size=batch_size,
+        seed=seed,
+        points=tuple(points),
+        knee_rate=find_saturation_knee(points),
+    )
+
+
+@dataclass(frozen=True)
 class ServeBenchReport:
     """The whole sweep, ready to print or serialize."""
 
@@ -183,12 +316,17 @@ class ServeBenchReport:
     #: False for a ``--no-cache`` sweep: the "cached" columns then hold
     #: baseline numbers, and trend comparisons must not consume them.
     fast_path: bool = True
+    #: Forced simulation backend (``None`` = registry auto-selection).
+    backend: str | None = None
+    #: Latency-vs-load sweep (``--arrival-sweep``), when requested.
+    arrival_sweep: ArrivalSweep | None = None
 
     def to_json_dict(self) -> dict:
         return {
             "benchmark": "scale_serving",
             "unit": "wall-clock seconds per run_many call (best of repeats)",
             "fast_path": self.fast_path,
+            "backend": self.backend,
             "metadata": host_metadata(),
             "mix": list(self.mix),
             "repeats": self.repeats,
@@ -204,12 +342,18 @@ class ServeBenchReport:
                     "makespan_seconds": p.makespan,
                     "simulated_throughput_jobs_per_second": p.simulated_throughput,
                     "results_identical": p.results_identical,
+                    "backend_jobs": p.backend_jobs,
                     "arrival": (
                         None if p.arrival is None else p.arrival.to_json_dict()
                     ),
                 }
                 for p in self.points
             ],
+            "arrival_sweep": (
+                None
+                if self.arrival_sweep is None
+                else self.arrival_sweep.to_json_dict()
+            ),
         }
 
     def write_json(self, path: Path | str = BENCH_JSON_PATH) -> Path:
@@ -240,6 +384,8 @@ def run_serve_bench(
     cached: bool = True,
     arrival_rate: float | None = DEFAULT_ARRIVAL_RATE,
     arrival_seed: int = 0,
+    backend: str | None = None,
+    arrival_sweep_rates: Sequence[float] | None = None,
 ) -> ServeBenchReport:
     """Run the sweep.
 
@@ -252,6 +398,13 @@ def run_serve_bench(
     the same mix released by a seeded Poisson process — and records the
     p50/p99 completion latency and mean queueing delay (``None`` or
     ``<= 0`` disables the extra run).
+
+    ``backend`` forces one registered simulation backend for every
+    measured batch — the A/B switch for replay-vs-engine comparisons
+    (``serve-bench --backend engine``).  ``arrival_sweep_rates``
+    additionally runs the latency-vs-load sweep
+    (:func:`run_arrival_sweep`) over those offered loads and records it
+    (with its saturation knee) in the report.
     """
     points = []
     for batch_size in batch_sizes:
@@ -260,11 +413,11 @@ def run_serve_bench(
         uncached_wall = uncached_result = None
         if not cached or compare_uncached:
             uncached_wall, uncached_result = measure_run_many(
-                sizes, memoize=False, repeats=repeats
+                sizes, memoize=False, repeats=repeats, backend=backend
             )
         if cached:
             cached_wall, cached_result = measure_run_many(
-                sizes, memoize=True, repeats=repeats
+                sizes, memoize=True, repeats=repeats, backend=backend
             )
             identical = (
                 _batch_results_equal(cached_result, uncached_result)
@@ -286,6 +439,7 @@ def run_serve_bench(
                 memoize=cached,
                 repeats=repeats,
                 arrivals=offsets,
+                backend=backend,
             )
             arrival = ArrivalPoint(
                 rate=arrival_rate,
@@ -306,13 +460,26 @@ def run_serve_bench(
                 simulated_throughput=reference.throughput,
                 results_identical=identical,
                 arrival=arrival,
+                backend_jobs=dict(reference.batch_report.backend_jobs),
             )
+        )
+    arrival_sweep = None
+    if arrival_sweep_rates:
+        arrival_sweep = run_arrival_sweep(
+            rates=tuple(arrival_sweep_rates),
+            mix=mix,
+            repeats=repeats,
+            seed=arrival_seed,
+            memoize=cached,
+            backend=backend,
         )
     return ServeBenchReport(
         mix=tuple(mix),
         repeats=repeats,
         points=tuple(points),
         fast_path=cached,
+        backend=backend,
+        arrival_sweep=arrival_sweep,
     )
 
 
@@ -322,9 +489,14 @@ def format_serve_bench(report: ServeBenchReport, cached: bool = True) -> str:
         f"Scale serving - wall-clock simulator throughput, {mode}",
         f"job mix: {', '.join(f'Si_{n}' for n in report.mix)} (round-robin), "
         f"best of {report.repeats}",
-        f"{'batch':>6s} {'wall (s)':>10s} {'jobs/s':>10s} "
-        f"{'no-cache (s)':>13s} {'speedup':>8s} {'identical':>10s}",
     ]
+    if report.backend is not None:
+        lines.append(f"forced simulation backend: {report.backend}")
+    lines.append(
+        f"{'batch':>6s} {'wall (s)':>10s} {'jobs/s':>10s} "
+        f"{'no-cache (s)':>13s} {'speedup':>8s} {'identical':>10s} "
+        f"{'backends':>20s}"
+    )
     for p in report.points:
         uncached = (
             f"{p.wall_seconds_uncached:13.4f}"
@@ -339,10 +511,17 @@ def format_serve_bench(report: ServeBenchReport, cached: bool = True) -> str:
             if p.results_identical is not None
             else "-"
         )
+        backends = (
+            "-"
+            if not p.backend_jobs
+            else ",".join(
+                f"{name}:{count}" for name, count in sorted(p.backend_jobs.items())
+            )
+        )
         lines.append(
             f"{p.batch_size:6d} {p.wall_seconds_cached:10.4f} "
             f"{p.jobs_per_second_cached:10.1f} {uncached} {speedup} "
-            f"{identical:>10s}"
+            f"{identical:>10s} {backends:>20s}"
         )
     arrivals = [p for p in report.points if p.arrival is not None]
     if arrivals:
@@ -361,5 +540,31 @@ def format_serve_bench(report: ServeBenchReport, cached: bool = True) -> str:
                 f"{p.batch_size:6d} {a.wall_seconds:10.4f} "
                 f"{a.p50_latency:12.4f} {a.p99_latency:12.4f} "
                 f"{a.mean_queueing_delay:12.4f}"
+            )
+    sweep = report.arrival_sweep
+    if sweep is not None:
+        lines.append(
+            f"\nlatency vs offered load ({sweep.batch_size} jobs, "
+            f"seed {sweep.seed}):"
+        )
+        lines.append(
+            f"{'rate':>6s} {'p50 lat (s)':>12s} {'p99 lat (s)':>12s} "
+            f"{'queue delay':>12s} {'makespan (s)':>13s}"
+        )
+        for point in sweep.points:
+            lines.append(
+                f"{point.rate:6.2f} {point.p50_latency:12.4f} "
+                f"{point.p99_latency:12.4f} "
+                f"{point.mean_queueing_delay:12.4f} {point.makespan:13.3f}"
+            )
+        if sweep.knee_rate is None:
+            lines.append(
+                "saturation knee: not reached "
+                f"(p99 stayed within {KNEE_LATENCY_FACTOR:g}x of baseline)"
+            )
+        else:
+            lines.append(
+                f"saturation knee: ~{sweep.knee_rate:g} jobs/s "
+                f"(first rate with p99 > {KNEE_LATENCY_FACTOR:g}x baseline)"
             )
     return "\n".join(lines)

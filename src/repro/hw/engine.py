@@ -283,22 +283,100 @@ class Engine:
 
 
 # ---------------------------------------------------------------------------
-# Chain-batch FIFO replay (the scale-out serving fast path)
+# Array-based event calendar (shared by the slim replays)
+# ---------------------------------------------------------------------------
+
+
+class EventCalendar:
+    """Array-backed event calendar: an index heap over parallel arrays.
+
+    The generator engine's heap stores ``(time, seq, process)`` triples —
+    one 3-tuple allocation per event.  At replay scale (one event per
+    occupancy, 10k-job batches) the calendar trims that constant factor:
+    the heap holds only ``(time, event_id)`` pairs and the event payload
+    lives in a preallocated parallel array indexed by the id.  Event ids
+    are the replay's monotonic ``seq`` counter, so the heap's tie-break
+    on the second element *is* the engine's FIFO seq contract — no
+    separate tie key is stored or compared.
+
+    Replay loops know their exact event count up front (one arrival
+    event per released entity plus exactly one completion per task), so
+    the payload array is sized once and never reallocates; :meth:`push`
+    still grows it on demand for open-ended consumers.
+
+    The hot loops in :func:`replay_chain_batch` / :func:`replay_dag_batch`
+    operate on :attr:`heap` / :attr:`payload` directly (bound to locals)
+    rather than through these methods — the methods are the documented
+    API for tests and lighter consumers.
+    """
+
+    __slots__ = ("heap", "payload", "seq")
+
+    def __init__(self, capacity: int = 0):
+        #: Min-heap of ``(time, event_id)`` pairs.
+        self.heap: list[tuple[float, int]] = []
+        #: ``payload[event_id]`` is the event's payload object.
+        self.payload: list = [None] * capacity
+        #: Next event id; monotone, doubles as the FIFO tie-breaker.
+        self.seq = 0
+
+    def seed(self, entries) -> None:
+        """Bulk-load ``(time, payload)`` pairs pre-sorted by (time,
+        arrival order).  Consecutive ids over nondecreasing times make
+        the backing list a valid heap as-is — no sift needed."""
+        heap = self.heap
+        payload = self.payload
+        seq = self.seq
+        for time, item in entries:
+            if seq < len(payload):
+                payload[seq] = item
+            else:
+                payload.append(item)
+            heap.append((time, seq))
+            seq += 1
+        self.seq = seq
+
+    def push(self, time: float, item) -> None:
+        eid = self.seq
+        if eid < len(self.payload):
+            self.payload[eid] = item
+        else:
+            self.payload.append(item)
+        heapq.heappush(self.heap, (time, eid))
+        self.seq = eid + 1
+
+    def pop(self):
+        """Remove and return the earliest ``(time, payload)`` event
+        (FIFO among same-time events)."""
+        time, eid = heapq.heappop(self.heap)
+        return time, self.payload[eid]
+
+    def __len__(self) -> int:
+        return len(self.heap)
+
+    def __bool__(self) -> bool:
+        return bool(self.heap)
+
+
+# ---------------------------------------------------------------------------
+# Batch FIFO replays (the scale-out serving fast path)
 # ---------------------------------------------------------------------------
 #
-# A batch of single-chain jobs exercises none of the engine's generality:
-# every job is a fixed linear sequence of (resource, duration) tasks, so
-# the generator machinery (one process per stage, command objects per
-# yield, 4-6 heap events per stage) only re-derives what FIFO semantics
-# already determine.  The two replays below compute the *same floats* the
-# engine would — every occupancy start is either the job's own ready time
-# (a sum along its chain, accrued in the same order) or the previous
-# holder's release time (``max`` picks one operand exactly), and grants
-# are FIFO with same-time ties broken by arrival order — with one heap
-# push/pop per task instead of the engine's per-yield event storm.
-# :meth:`repro.core.executor.PipelineExecutor.execute_many` cross-checks
-# the equivalence in tests and falls back to the full engine for any
-# non-chain job or attached observer.
+# A batch of scheduled jobs exercises none of the engine's generality:
+# every job is a fixed set of (resource, duration) tasks whose order is
+# known, so the generator machinery (one process per stage, command
+# objects per yield, 4-6 heap events per stage) only re-derives what
+# FIFO semantics already determine.  The replays below compute the *same
+# floats* the engine would — every occupancy start is either the task's
+# own ready time or the previous holder's release time, and grants are
+# FIFO with same-time ties broken by arrival order — with one calendar
+# event per occupancy instead of the engine's per-yield event storm.
+# :func:`replay_chain_batch` handles single-chain jobs with a per-job
+# cursor; :func:`replay_dag_batch` generalizes to branching pipelines
+# with per-replica join counters on the fan-in stages.  The simulation
+# backends (:mod:`repro.core.backends`) cross-check the equivalence in
+# tests and fall back to the full engine for any attached observer or
+# zero-duration task.
 
 
 #: Hop-queue actions (see :func:`replay_chain_batch`): START allocates a
@@ -353,14 +431,16 @@ def replay_chain_batch(
         raise SimulationError(
             f"{n} jobs but {len(arrivals)} arrival times"
         )
+    # Exact event budget: one release event per job plus one completion
+    # per task — the calendar's payload array never reallocates.
+    calendar = EventCalendar(n + sum(len(tasks) for tasks in job_tasks))
     # Initial release events ordered by (arrival, submission index): the
     # engine spawns processes in submission order, so same-time releases
-    # request in submission order.  A list sorted by (time, seq) is
-    # already a valid heap.
-    heap: list[tuple[float, int, int]] = sorted(
-        (arrivals[j], j, j) for j in range(n)
-    )
-    seq = n
+    # request in submission order.
+    calendar.seed(sorted((arrivals[j], j) for j in range(n)))
+    heap = calendar.heap
+    payload = calendar.payload
+    seq = calendar.seq
     busy = [False] * n_resources
     waiters: list[deque[int]] = [deque() for _ in range(n_resources)]
     cursor = [0] * n  # index of the task currently requested/running
@@ -370,7 +450,8 @@ def replay_chain_batch(
     pop = heapq.heappop
     push = heapq.heappush
     while heap:
-        time, _tie, first_job = pop(heap)
+        time, first_eid = pop(heap)
+        first_job = payload[first_eid]
         if not heap or heap[0][0] != time:
             # Tie-free instant — the overwhelmingly common case with
             # real (float) durations.  No other event shares the
@@ -385,13 +466,10 @@ def replay_chain_batch(
                 queue = waiters[resource]
                 if queue:
                     waiter = queue.popleft()
+                    payload[seq] = waiter
                     push(
                         heap,
-                        (
-                            time + job_tasks[waiter][cursor[waiter]][1],
-                            seq,
-                            waiter,
-                        ),
+                        (time + job_tasks[waiter][cursor[waiter]][1], seq),
                     )
                     seq += 1
                 else:
@@ -410,13 +488,14 @@ def replay_chain_batch(
                 waiters[resource].append(job)
             else:
                 busy[resource] = True
-                push(heap, (time + duration, seq, job))
+                payload[seq] = job
+                push(heap, (time + duration, seq))
                 seq += 1
             continue
         # Same-instant collision: banded cascade emulation.
         band = [first_job]
         while heap and heap[0][0] == time:
-            band.append(pop(heap)[2])
+            band.append(payload[pop(heap)[1]])
         hop_now: list[tuple[int, int]] = []
         hop_next: list[tuple[int, int]] = []
         # Band 0: every event at this instant, in start/arrival order.
@@ -464,9 +543,10 @@ def replay_chain_batch(
             hop_next = []
             for action, job in hop_now:
                 if action == _START:
+                    payload[seq] = job
                     push(
                         heap,
-                        (time + job_tasks[job][cursor[job]][1], seq, job),
+                        (time + job_tasks[job][cursor[job]][1], seq),
                     )
                     seq += 1
                 else:
@@ -477,4 +557,282 @@ def replay_chain_batch(
                         busy[resource] = True
                         upcoming.append((_START, job))
             hop_now = upcoming
+    return completions, makespan
+
+
+# ---------------------------------------------------------------------------
+# DAG-batch FIFO replay
+# ---------------------------------------------------------------------------
+#
+# Hop-band action codes (see :func:`replay_dag_batch`), packed with the
+# replica-stage index as ``(rs << 2) | code`` so the cascade bands hold
+# plain ints instead of per-action tuples:
+#
+# - START:   allocate the completion event for an occupancy granted one
+#            band earlier (the engine's resume-then-timeout).
+# - ACQUIRE: request the replica-stage's current task's resource.
+# - NOTIFY:  the stage process's StopIteration — mark it finished and
+#            wake its watchers one band later.
+# - WAIT:    one step of a stage's predecessor wait loop (the engine's
+#            ``yield predecessor``): consume one predecessor per band,
+#            park on the first unfinished one, or fall through to the
+#            first task's acquire in the same band.
+_A_START = 0
+_A_ACQUIRE = 1
+_A_NOTIFY = 2
+_A_WAIT = 3
+
+
+def replay_dag_batch(
+    job_programs: "list",
+    arrivals: "list[float]",
+    n_resources: int,
+) -> tuple[list[float], float]:
+    """FIFO replay of a batch of DAG-shaped jobs on shared resources.
+
+    ``job_programs[j]`` describes job ``j`` as ``(stage_tasks,
+    stage_preds)`` with stages indexed in topological order:
+    ``stage_tasks[s]`` is stage ``s``'s task list — ``(resource_index,
+    duration)`` pairs in execution order (boundary transfers in in-edge
+    order, then the device occupancy) — and ``stage_preds[s]`` its
+    predecessor stage indices in in-edge order.  ``arrivals[j]`` is the
+    job's release time.  Resources are capacity-1 and FIFO, exactly like
+    :class:`Resource`, and every duration must be positive (the caller
+    guarantees it).  Returns per-job completion times and the makespan,
+    bit-identical to spawning one engine process per stage.
+
+    This generalizes :func:`replay_chain_batch` from one cursor per job
+    to one cursor per *replica-stage* plus a join counter
+    (``wait_index``) per fan-in: a stage requests its first task only
+    after every predecessor stage of its own replica has finished, which
+    is exactly the ``yield predecessor`` wait chain the engine's stage
+    processes perform.  The calendar still carries one event per
+    occupancy (plus one release event per entry stage); everything else
+    — releases, grants, StopIteration fan-out wake-ups, finished-
+    predecessor skips — is zero-duration and resolves inside the
+    same-instant cascade.
+
+    Every instant is processed in *hop bands* mirroring the engine's seq
+    allocation order (the same argument as the chain replay's banded
+    emulation, extended with two DAG-only transitions): a completion
+    releases its resource and grants the longest waiter in the next band
+    ahead of its own follow-up; a stage's last completion reaches
+    StopIteration one band later (NOTIFY) and wakes its watchers one
+    band after that, in watcher-registration order; each additional
+    already-finished predecessor a woken stage skips over costs one more
+    band (the engine re-pushes the process per ``yield``).  Same-time
+    completions therefore grant, wake and re-request in exactly the
+    order the generator engine's monotonic seq would produce.
+    """
+    n = len(job_programs)
+    if len(arrivals) != n:
+        raise SimulationError(
+            f"{n} jobs but {len(arrivals)} arrival times"
+        )
+    # ------------------------------------------------------------------
+    # Flatten (replica, stage) into rs indices.  The engine spawns one
+    # process per stage, jobs in submission order and stages in topo
+    # order; at t=0 every non-entry stage parks on its *first*
+    # predecessor, so the initial watcher lists are a pure function of
+    # the programs, registered here in that same spawn order.
+    # ------------------------------------------------------------------
+    rs_tasks: list = []  # task list per replica-stage
+    rs_preds: list = []  # rs indices of predecessors, in-edge order
+    rs_job: list[int] = []
+    entry_events: list[tuple[float, int]] = []
+    remaining = [0] * n  # unfinished stage count per job
+    n_tasks_total = 0
+    for j, (stage_tasks, stage_preds) in enumerate(job_programs):
+        job_base = len(rs_tasks)
+        release = arrivals[j]
+        remaining[j] = len(stage_tasks)
+        for s, tasks in enumerate(stage_tasks):
+            rs_tasks.append(tasks)
+            preds = stage_preds[s]
+            rs_preds.append(tuple(job_base + p for p in preds))
+            rs_job.append(j)
+            n_tasks_total += len(tasks)
+            if not preds:
+                entry_events.append((release, job_base + s))
+    total = len(rs_tasks)
+    watchers: list[list[int]] = [[] for _ in range(total)]
+    for rs in range(total):
+        preds = rs_preds[rs]
+        if preds:
+            watchers[preds[0]].append(rs)
+
+    cursor = [0] * total  # index of the stage's requested/running task
+    wait_index = [0] * total  # predecessor currently being waited on
+    started = [False] * total  # False until the first task is requested
+    stage_done = [False] * total
+    busy = [False] * n_resources
+    waiters: list[deque[int]] = [deque() for _ in range(n_resources)]
+    completions = [0.0] * n
+    makespan = 0.0
+
+    # Exact event budget: one release event per entry stage plus one
+    # completion per task.  Entry releases are sorted by (arrival, rs) —
+    # rs order is (job, topo) order, matching the seq order the engine
+    # allocates the release timeouts in at spawn time.
+    entry_events.sort()
+    calendar = EventCalendar(len(entry_events) + n_tasks_total)
+    calendar.seed(entry_events)
+    heap = calendar.heap
+    payload = calendar.payload
+    seq = calendar.seq
+    pop = heapq.heappop
+    push = heapq.heappush
+
+    while heap:
+        time, eid = pop(heap)
+        rs = payload[eid]
+        if not heap or heap[0][0] != time:
+            # Tie-free instant — the overwhelmingly common case with
+            # real (float) durations.  Grant, cursor advance and
+            # next-request resolve inline; the push order (grant's
+            # occupancy first, then this stage's next, if any) matches
+            # the banded cascade's seq allocation exactly.  Only a
+            # stage end with parked watchers enters the hop bands: the
+            # relative order in which same-instant watchers reach their
+            # acquires depends on how many finished predecessors each
+            # skips, which is precisely what the bands emulate.
+            tasks = rs_tasks[rs]
+            if started[rs]:
+                index = cursor[rs]
+                resource = tasks[index][0]
+                queue = waiters[resource]
+                if queue:
+                    waiter = queue.popleft()
+                    payload[seq] = waiter
+                    push(
+                        heap,
+                        (time + rs_tasks[waiter][cursor[waiter]][1], seq),
+                    )
+                    seq += 1
+                else:
+                    busy[resource] = False
+                index += 1
+                cursor[rs] = index
+                if index < len(tasks):
+                    resource = tasks[index][0]
+                    if busy[resource]:
+                        waiters[resource].append(rs)
+                    else:
+                        busy[resource] = True
+                        payload[seq] = rs
+                        push(heap, (time + tasks[index][1], seq))
+                        seq += 1
+                    continue
+                stage_done[rs] = True
+                job = rs_job[rs]
+                remaining[job] -= 1
+                if not remaining[job]:
+                    completions[job] = time
+                    if time > makespan:
+                        makespan = time
+                parked = watchers[rs]
+                if not parked:
+                    continue
+                watchers[rs] = []
+                cur = [(watcher << 2) | _A_WAIT for watcher in parked]
+            else:
+                started[rs] = True
+                resource = tasks[0][0]
+                if busy[resource]:
+                    waiters[resource].append(rs)
+                else:
+                    busy[resource] = True
+                    payload[seq] = rs
+                    push(heap, (time + tasks[0][1], seq))
+                    seq += 1
+                continue
+        else:
+            # Same-instant collision: full banded cascade emulation.
+            band = [rs]
+            while heap and heap[0][0] == time:
+                band.append(payload[pop(heap)[1]])
+            # Band 0: every calendar event at this instant in seq order.
+            # Completions release first (grant ahead of the finisher's
+            # own cascade); release events request their entry stage's
+            # first task at this pop, like the engine's post-timeout
+            # resume.
+            nxt: list[int] = []
+            for rs in band:
+                tasks = rs_tasks[rs]
+                if started[rs]:
+                    index = cursor[rs]
+                    resource = tasks[index][0]
+                    queue = waiters[resource]
+                    if queue:
+                        nxt.append((queue.popleft() << 2) | _A_START)
+                    else:
+                        busy[resource] = False
+                    index += 1
+                    cursor[rs] = index
+                    if index < len(tasks):
+                        nxt.append((rs << 2) | _A_ACQUIRE)
+                    else:
+                        nxt.append((rs << 2) | _A_NOTIFY)
+                else:
+                    started[rs] = True
+                    resource = tasks[0][0]
+                    if busy[resource]:
+                        waiters[resource].append(rs)
+                    else:
+                        busy[resource] = True
+                        nxt.append((rs << 2) | _A_START)
+            cur = nxt
+        # Hop bands: actions ripple outward exactly one engine cascade
+        # step per band (see the module comment above the action codes).
+        while cur:
+            nxt = []
+            for action in cur:
+                code = action & 3
+                rs = action >> 2
+                if code == _A_START:
+                    payload[seq] = rs
+                    push(heap, (time + rs_tasks[rs][cursor[rs]][1], seq))
+                    seq += 1
+                elif code == _A_ACQUIRE:
+                    resource = rs_tasks[rs][cursor[rs]][0]
+                    if busy[resource]:
+                        waiters[resource].append(rs)
+                    else:
+                        busy[resource] = True
+                        nxt.append((rs << 2) | _A_START)
+                elif code == _A_NOTIFY:
+                    stage_done[rs] = True
+                    job = rs_job[rs]
+                    remaining[job] -= 1
+                    if not remaining[job]:
+                        completions[job] = time
+                        if time > makespan:
+                            makespan = time
+                    parked = watchers[rs]
+                    if parked:
+                        for watcher in parked:
+                            nxt.append((watcher << 2) | _A_WAIT)
+                        watchers[rs] = []
+                else:  # _A_WAIT: one predecessor-loop step
+                    preds = rs_preds[rs]
+                    index = wait_index[rs] + 1
+                    wait_index[rs] = index
+                    if index < len(preds):
+                        pred = preds[index]
+                        if stage_done[pred]:
+                            nxt.append((rs << 2) | _A_WAIT)
+                        else:
+                            watchers[pred].append(rs)
+                    else:
+                        # All joins satisfied: request the first task at
+                        # this pop (the engine falls straight through to
+                        # the acquire yield).
+                        started[rs] = True
+                        resource = rs_tasks[rs][0][0]
+                        if busy[resource]:
+                            waiters[resource].append(rs)
+                        else:
+                            busy[resource] = True
+                            nxt.append((rs << 2) | _A_START)
+            cur = nxt
     return completions, makespan

@@ -97,13 +97,17 @@ class TestCoalesceShardEquivalence:
         for index in range(len(jobs)):
             assert any(label.startswith(f"job{index}:") for label in events)
 
-    def test_dag_jobs_fall_back_to_engine_and_match(self, framework):
+    def test_dag_jobs_take_the_dag_replay_and_match(self, framework):
         jobs = _jobs(framework, [(256, build_kpoint_pipeline)] * 6)
         fast = framework.executor.execute_many(jobs)
         slow = framework.executor.execute_many(
             jobs, coalesce=False, shard=False
         )
-        assert fast.n_superjobs == 0  # non-chain: replay declined
+        # Branching jobs no longer force the generator engine: the DAG
+        # replay coalesces the identical replicas into one super-job.
+        assert fast.backend_jobs == {"dag_replay": 6}
+        assert fast.n_superjobs == 1
+        assert slow.backend_jobs == {"engine": 6}
         assert fast.job_reports == slow.job_reports
 
     def test_run_many_toggles_identical(self):

@@ -157,3 +157,76 @@ class TestWarmStartedPlacementDp:
         assert framework._warm_start_index
         framework.register_target(Placement.NDP, ndp_model)
         assert not framework._warm_start_index
+
+
+def _renamed(pipeline, prefix):
+    """The same pipeline under different stage names — the shape the
+    name-normalized structure signature must treat as one structure."""
+    from repro.core.pipeline import Edge, Pipeline, Stage
+
+    stages = tuple(
+        Stage(
+            name=f"{prefix}{stage.name}",
+            workload=stage.workload,
+            function=stage.function,
+        )
+        for stage in pipeline.stages
+    )
+    edges = tuple(
+        Edge(
+            src=f"{prefix}{edge.src}",
+            dst=f"{prefix}{edge.dst}",
+            nbytes=edge.nbytes,
+        )
+        for edge in pipeline.edges
+    )
+    return Pipeline(problem=pipeline.problem, stages=stages, edges=edges)
+
+
+class TestNameNormalizedWarmStart:
+    def test_renamed_same_shape_pipeline_hits_warm_start(self):
+        """A same-shape pipeline whose stages are merely labelled
+        differently warm-starts off the original's placement instead of
+        restarting cold — counter-verified, and still the exact
+        optimum."""
+        framework = NdftFramework()
+        framework.run(n_atoms=64)  # seeds the 6-chain structure
+        assert framework.cache_stats["warm_start_hits"] == 0
+        renamed = _renamed(build_pipeline(problem_size(512)), "alias_")
+        hinted = framework._schedule_for(
+            renamed, framework.job_signature(renamed)
+        )
+        stats = framework.cache_stats
+        assert stats["warm_start_hits"] == 1
+        cold = framework.scheduler._dag_optimal(renamed)
+        assert hinted.assignments == cold.assignments
+        assert hinted.predicted_total == cold.predicted_total
+
+    def test_renamed_kpoint_dag_hits_warm_start(self):
+        framework = NdftFramework()
+        framework.run_many([64], pipeline_builder=build_kpoint_pipeline)
+        renamed = _renamed(
+            build_kpoint_pipeline(problem_size(512)), "other/"
+        )
+        framework._schedule_for(renamed, framework.job_signature(renamed))
+        assert framework.cache_stats["warm_start_hits"] == 1
+
+    def test_normalize_rehydrate_round_trip(self):
+        from repro.core.scheduler import CostAwareScheduler
+
+        framework = NdftFramework()
+        pipeline = build_pipeline(problem_size(64))
+        schedule = framework.scheduler.schedule(pipeline)
+        normalized = CostAwareScheduler.normalize_placements(
+            pipeline, schedule.assignments
+        )
+        assert CostAwareScheduler.rehydrate_placements(
+            pipeline, normalized
+        ) == schedule.assignments
+        # Length mismatch degrades to no hint, never an error.
+        assert (
+            CostAwareScheduler.rehydrate_placements(
+                pipeline, normalized[:-1]
+            )
+            is None
+        )

@@ -12,7 +12,7 @@ from repro.experiments.bench_compare import (
 )
 
 
-def _report(points, metadata=None, fast_path=True, speedups=None):
+def _report(points, metadata=None, fast_path=True, speedups=None, arrivals=None):
     out = {
         "benchmark": "scale_serving",
         "fast_path": fast_path,
@@ -24,6 +24,15 @@ def _report(points, metadata=None, fast_path=True, speedups=None):
     if speedups:
         for point, speedup in zip(out["points"], speedups):
             point["wall_speedup"] = speedup
+    if arrivals:
+        for point, arrival in zip(out["points"], arrivals):
+            if arrival is not None:
+                p99, rate, seed = arrival
+                point["arrival"] = {
+                    "p99_latency_seconds": p99,
+                    "rate_jobs_per_second": rate,
+                    "seed": seed,
+                }
     if metadata:
         out["metadata"] = metadata
     return out
@@ -108,6 +117,74 @@ class TestCompareServingReports:
         committed = _report([(16, 9000.0)], metadata=meta_a, speedups=[8.0])
         fresh = _report([(16, 900.0)], metadata=meta_b, speedups=[7.9])
         assert compare_serving_reports(committed, fresh) == []
+
+    def test_mismatched_forced_backends_are_refused(self):
+        """A --backend-forced sweep is a different experiment (an
+        engine-forced run is legitimately several times slower), so it
+        cannot be trended against an auto-selected file."""
+        auto = _report([(16, 1000.0)])
+        forced = dict(_report([(16, 300.0)]), backend="engine")
+        for committed, fresh in ((auto, forced), (forced, auto)):
+            failures = compare_serving_reports(committed, fresh)
+            assert failures and "backend" in failures[0]
+        # Two files forced to the same backend trend normally.
+        also_forced = dict(_report([(16, 290.0)]), backend="engine")
+        assert compare_serving_reports(forced, also_forced) == []
+
+    def test_p99_regression_beyond_tolerance_fails(self):
+        committed = _report([(16, 1000.0)], arrivals=[(1.0, 2.0, 0)])
+        fresh = _report([(16, 1000.0)], arrivals=[(1.5, 2.0, 0)])  # +50%
+        failures = compare_serving_reports(committed, fresh)
+        assert len(failures) == 1
+        assert "p99" in failures[0]
+
+    def test_p99_within_tolerance_and_improvements_pass(self):
+        committed = _report([(16, 1000.0)], arrivals=[(1.0, 2.0, 0)])
+        within = _report([(16, 1000.0)], arrivals=[(1.2, 2.0, 0)])
+        better = _report([(16, 1000.0)], arrivals=[(0.5, 2.0, 0)])
+        assert compare_serving_reports(committed, within) == []
+        assert compare_serving_reports(committed, better) == []
+
+    def test_p99_not_compared_across_rates_or_seeds(self):
+        """A different offered load (or arrival seed) is a different
+        experiment: the latency numbers are incomparable, so the gate
+        skips them instead of failing."""
+        committed = _report([(16, 1000.0)], arrivals=[(1.0, 2.0, 0)])
+        other_rate = _report([(16, 1000.0)], arrivals=[(9.0, 4.0, 0)])
+        other_seed = _report([(16, 1000.0)], arrivals=[(9.0, 2.0, 7)])
+        assert compare_serving_reports(committed, other_rate) == []
+        assert compare_serving_reports(committed, other_seed) == []
+
+    def test_p99_not_gated_across_host_classes(self):
+        """Same refusal rules as absolute throughput: a host-class
+        mismatch suppresses the p99 gate (advisory context only)."""
+        meta_a = {"python": "3.11.7", "machine": "x86_64", "cpu_count": 1}
+        meta_b = {"python": "3.12.1", "machine": "x86_64", "cpu_count": 4}
+        committed = _report(
+            [(16, 1000.0)], metadata=meta_a, arrivals=[(1.0, 2.0, 0)]
+        )
+        fresh = _report(
+            [(16, 1000.0)], metadata=meta_b, arrivals=[(5.0, 2.0, 0)]
+        )
+        assert compare_serving_reports(committed, fresh) == []
+        same_host = _report(
+            [(16, 1000.0)], metadata=meta_a, arrivals=[(5.0, 2.0, 0)]
+        )
+        assert compare_serving_reports(committed, same_host)
+
+    def test_missing_arrival_blocks_skip_the_p99_gate(self):
+        committed = _report([(16, 1000.0)], arrivals=[(1.0, 2.0, 0)])
+        fresh = _report([(16, 1000.0)])  # no open-queue block (older file)
+        assert compare_serving_reports(committed, fresh) == []
+        assert compare_serving_reports(fresh, committed) == []
+
+    def test_format_shows_p99_trend(self):
+        committed = _report([(16, 1000.0)], arrivals=[(1.0, 2.0, 0)])
+        fresh = _report([(16, 1000.0)], arrivals=[(1.5, 2.0, 0)])
+        failures = compare_serving_reports(committed, fresh)
+        text = format_comparison(committed, fresh, failures)
+        assert "p99 1.0000 -> 1.5000 s" in text
+        assert "FAIL" in text
 
     def test_format_mentions_metadata_and_verdict(self):
         committed = _report([(16, 1000.0)], metadata={"python": "3.11.7"})

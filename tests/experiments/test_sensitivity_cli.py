@@ -59,6 +59,53 @@ class TestOtherSweeps:
             sweep_stack_count(64, mesh_sides=(0,))
 
 
+class TestArrivalSweep:
+    def test_knee_detection(self):
+        from repro.experiments.scale_serving import (
+            ArrivalSweepPoint,
+            find_saturation_knee,
+        )
+
+        def point(rate, p99):
+            return ArrivalSweepPoint(
+                rate=rate,
+                wall_seconds=0.0,
+                makespan=0.0,
+                p50_latency=p99 / 2,
+                p99_latency=p99,
+                mean_queueing_delay=0.0,
+            )
+
+        flat = [point(1.0, 1.0), point(2.0, 1.1), point(3.0, 1.3)]
+        assert find_saturation_knee(flat) is None
+        bent = flat + [point(4.0, 5.0), point(5.0, 40.0)]
+        assert find_saturation_knee(bent) == 4.0
+        # Order-insensitive: the baseline is the lowest rate.
+        assert find_saturation_knee(list(reversed(bent))) == 4.0
+        assert find_saturation_knee([]) is None
+
+    def test_sweep_finds_the_knee_past_capacity(self):
+        """Offered load far beyond the mix's simulated capacity
+        (~3.8 jobs/s) must blow up p99 latency; a low rate must not."""
+        from repro.experiments.scale_serving import run_arrival_sweep
+
+        sweep = run_arrival_sweep(
+            rates=(1.0, 50.0), batch_size=16, repeats=1
+        )
+        low, high = sweep.points
+        assert low.rate == 1.0 and high.rate == 50.0
+        assert high.p99_latency > low.p99_latency
+        assert sweep.knee_rate == 50.0
+
+    def test_sweep_validation(self):
+        from repro.experiments.scale_serving import run_arrival_sweep
+
+        with pytest.raises(ValueError):
+            run_arrival_sweep(rates=())
+        with pytest.raises(ValueError):
+            run_arrival_sweep(rates=(1.0, -2.0))
+
+
 class TestCli:
     def test_table1(self, capsys):
         assert main(["table1"]) == 0
@@ -140,6 +187,39 @@ class TestCli:
             == 0
         )
         assert "baseline (--no-cache)" in capsys.readouterr().out
+
+    def test_serve_bench_backend_and_arrival_sweep(self, capsys, tmp_path):
+        import json
+
+        json_path = tmp_path / "BENCH_serving.json"
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--batch-sizes", "4",
+                    "--repeats", "1",
+                    "--backend", "engine",
+                    "--arrival-rate", "0",
+                    "--arrival-sweep", "2.0", "6.0",
+                    "--json", str(json_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "forced simulation backend: engine" in out
+        assert "latency vs offered load" in out
+        assert "saturation knee" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["backend"] == "engine"
+        assert payload["points"][0]["backend_jobs"] == {"engine": 4}
+        sweep = payload["arrival_sweep"]
+        assert [p["rate_jobs_per_second"] for p in sweep["points"]] == [2.0, 6.0]
+        assert sweep["knee_latency_factor"] > 1.0
+
+    def test_serve_bench_rejects_unknown_backend(self):
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--backend", "nonsense"])
 
     def test_all_excludes_serve_bench(self):
         from repro.cli import _COMMANDS, _EXCLUDED_FROM_ALL
