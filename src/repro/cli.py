@@ -12,9 +12,11 @@ Regenerates any of the paper's artifacts from a shell:
     python -m repro batch --atoms 64 64 512 1024   # batched serving (extension)
     python -m repro batch --policy all_cpu         # ... under another scheduler
     python -m repro batch --arrival-rate 2.0       # ... as an open queue
+    python -m repro batch --arrival-rate 5.0 --slo-p99 2.0  # ... with admission
     python -m repro serve-bench   # wall-clock serving throughput sweep
     python -m repro serve-bench --backend engine  # force one sim backend (A/B)
     python -m repro serve-bench --arrival-sweep   # latency-vs-load + knee
+    python -m repro serve-bench --arrival-sweep --slo-p99 2.0  # ... shedding
     python -m repro all           # everything, in paper order
 
 ``serve-bench`` is excluded from ``all``: it measures wall-clock time of
@@ -35,6 +37,21 @@ def _backend_choices() -> list[str]:
     from repro.core.backends import backend_names
 
     return list(backend_names())
+
+
+def _admission_policy(args):
+    """The AdmissionPolicy the --slo-p99 / --max-queue-depth /
+    --admission-mode flags describe, or ``None`` when neither criterion
+    was given (admission off — the pre-admission behavior)."""
+    if args.slo_p99 is None and args.max_queue_depth is None:
+        return None
+    from repro.core.arrivals import AdmissionPolicy
+
+    return AdmissionPolicy(
+        slo_p99=args.slo_p99,
+        max_queue_depth=args.max_queue_depth,
+        mode=args.admission_mode,
+    )
 
 
 def _fig4(_args, _framework) -> str:
@@ -164,6 +181,7 @@ def _batch(args, framework) -> str:
             framework,
             arrival_rate=args.arrival_rate,
             arrival_seed=args.arrival_seed,
+            admission=_admission_policy(args),
         )
     )
 
@@ -200,6 +218,7 @@ def _serve_bench(args, _framework) -> str:
         arrival_seed=args.arrival_seed,
         backend=args.backend,
         arrival_sweep_rates=arrival_sweep_rates,
+        admission=_admission_policy(args),
     )
     path = report.write_json(args.json) if args.json else report.write_json()
     return format_serve_bench(report, cached=cached) + f"\nwrote {path}"
@@ -297,6 +316,36 @@ def main(argv: list[str] | None = None) -> int:
             "latency-vs-load curve and the saturation knee in "
             "BENCH_serving.json; pass with no values for the default "
             "grid (1.0 2.0 3.0 3.5 4.0 5.0)"
+        ),
+    )
+    parser.add_argument(
+        "--slo-p99",
+        type=float,
+        default=None,
+        help=(
+            "batch/serve-bench admission control: shed (or deprioritize) "
+            "open-queue arrivals whose predicted completion latency "
+            "(solo-time estimate + lane backlog) exceeds this many "
+            "seconds of virtual time; requires an arrival process"
+        ),
+    )
+    parser.add_argument(
+        "--max-queue-depth",
+        type=int,
+        default=None,
+        help=(
+            "batch/serve-bench admission control: bound on admitted "
+            "in-flight jobs at any arrival instant"
+        ),
+    )
+    parser.add_argument(
+        "--admission-mode",
+        choices=["shed", "deprioritize"],
+        default="shed",
+        help=(
+            "what to do with over-SLO arrivals: shed (reject outright, "
+            "default) or deprioritize (defer behind the backlog, "
+            "excluded from the SLO percentiles)"
         ),
     )
     parser.add_argument(

@@ -22,8 +22,9 @@
   selects from per contention shard: the chain FIFO replay, the DAG
   replay (join counters on fan-in stages) and the generator engine
   fallback, all bit-identical and pluggable via ``register_backend``.
-- :mod:`repro.core.arrivals` — arrival processes (seeded Poisson) and
-  latency percentiles for the open-queue serving model.
+- :mod:`repro.core.arrivals` — arrival processes (seeded Poisson),
+  latency percentiles and the SLO-driven admission policy
+  (shed/deprioritize) for the open-queue serving model.
 - :mod:`repro.core.signature` / :mod:`repro.core.lru` — content-addressed
   job signatures and the bounded LRU caches they key.
 - :mod:`repro.core.framework` — the end-to-end NDFT driver (single jobs
@@ -31,7 +32,13 @@
 - :mod:`repro.core.baselines` — CPU-only and GPU execution models.
 """
 
-from repro.core.arrivals import percentile, poisson_arrivals
+from repro.core.arrivals import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    percentile,
+    plan_admission,
+    poisson_arrivals,
+)
 from repro.core.backends import (
     SimulationBackend,
     backend_names,
@@ -60,11 +67,20 @@ from repro.core.executor import (
     ExecutionReport,
     PipelineExecutor,
 )
-from repro.core.framework import NdftBatchResult, NdftFramework, NdftRunResult
+from repro.core.framework import (
+    AdmissionResult,
+    NdftBatchResult,
+    NdftFramework,
+    NdftRunResult,
+)
 from repro.core.baselines import run_cpu_baseline, run_gpu_baseline
 
 __all__ = [
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "AdmissionResult",
     "percentile",
+    "plan_admission",
     "poisson_arrivals",
     "SimulationBackend",
     "backend_names",

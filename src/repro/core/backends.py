@@ -83,8 +83,18 @@ class SimulationBackend(Protocol):
         executor: "PipelineExecutor",
         shard_jobs: list[tuple["Pipeline", "Schedule"]],
         shard_arrivals: list[float] | None,
+        lane_log: dict[str, list[tuple[float, float]]],
     ) -> ShardResult | None:
-        """Time the shard, or return ``None`` to decline it late."""
+        """Time the shard, or return ``None`` to decline it late.
+
+        A backend that simulates the shard must also append every
+        resource occupancy it grants — ``(start, end)`` in grant order
+        — to ``lane_log`` under the lane's
+        :func:`repro.core.executor.lane_name`; the intervals must be
+        the engine's exact floats (``end = grant + duration``), which
+        is what makes ``BatchExecutionReport.lane_occupancy``
+        backend-independent.  A late decline must leave ``lane_log``
+        untouched."""
         ...
 
 
@@ -115,12 +125,15 @@ def _replay_shard(
     shard_arrivals,
     flatten,
     replay,
+    lane_log,
 ) -> ShardResult | None:
     """The shared replay scaffold both slim backends run: coalesce the
     shard into super-jobs, ``flatten`` each group once into its replay
     input (returning ``(None, overhead)`` to decline the whole shard,
     e.g. on a zero-duration task), ``replay`` the per-replica input
-    lists, and rebuild per-job reports from the group templates."""
+    lists, rebuild per-job reports from the group templates, and file
+    the replay's per-resource occupancy intervals into ``lane_log``
+    under the interned resources' lane names."""
     group_members, member_group = _superjob_groups(shard_jobs)
     resource_ids: dict[object, int] = {}
     group_inputs: list = []
@@ -137,11 +150,16 @@ def _replay_shard(
             executor._job_report(pipeline, schedule, overhead_total, 0.0)
         )
     n = len(shard_jobs)
-    finish, makespan = replay(
+    finish, makespan, occupancy = replay(
         [group_inputs[group] for group in member_group],
         [0.0] * n if shard_arrivals is None else shard_arrivals,
         len(resource_ids),
     )
+    from repro.core.executor import lane_name
+
+    for key, index in resource_ids.items():
+        if occupancy[index]:
+            lane_log.setdefault(lane_name(key), []).extend(occupancy[index])
     reports = [
         replace(group_template[member_group[position]], total_time=t)
         for position, t in enumerate(finish)
@@ -150,16 +168,24 @@ def _replay_shard(
 
 
 class EngineBackend:
-    """The generator-engine reference path: supports everything."""
+    """The generator-engine reference path: supports everything.
+
+    Lane accounting rides the executor's occupancy callback (the same
+    hook the trace observer uses): every device/wire occupancy lands in
+    ``lane_log`` with the engine's own start/end floats, which is the
+    reference the replays' grant-time recording is verified against."""
 
     name = "engine"
 
     def supports(self, executor, shard_jobs) -> bool:
         return True
 
-    def simulate(self, executor, shard_jobs, shard_arrivals):
+    def simulate(self, executor, shard_jobs, shard_arrivals, lane_log):
+        def record(lane, _label, start, end):
+            lane_log.setdefault(lane, []).append((start, end))
+
         reports, makespan = executor._execute_batch_engine(
-            shard_jobs, range(len(shard_jobs)), None, shard_arrivals
+            shard_jobs, range(len(shard_jobs)), record, shard_arrivals
         )
         return reports, makespan, 0
 
@@ -175,13 +201,14 @@ class ChainReplayBackend:
             for pipeline, _schedule in shard_jobs
         )
 
-    def simulate(self, executor, shard_jobs, shard_arrivals):
+    def simulate(self, executor, shard_jobs, shard_arrivals, lane_log):
         return _replay_shard(
             executor,
             shard_jobs,
             shard_arrivals,
             flatten=lambda ex, p, s, ids: ex._chain_tasks(p, s, ids),
             replay=replay_chain_batch,
+            lane_log=lane_log,
         )
 
 
@@ -195,13 +222,14 @@ class DagReplayBackend:
     def supports(self, executor, shard_jobs) -> bool:
         return True
 
-    def simulate(self, executor, shard_jobs, shard_arrivals):
+    def simulate(self, executor, shard_jobs, shard_arrivals, lane_log):
         return _replay_shard(
             executor,
             shard_jobs,
             shard_arrivals,
             flatten=self._dag_program,
             replay=replay_dag_batch,
+            lane_log=lane_log,
         )
 
     @staticmethod

@@ -54,6 +54,19 @@ LINK_LANE_PREFIX = "link"
 _ENGINE_BACKEND = "engine"
 
 
+def lane_name(key: object) -> str:
+    """The trace-lane name of one simulated resource: a device lane for
+    a :class:`Placement` (``"cpu"``/``"ndp"``/``"gpu"``), a wire lane
+    for a placement-pair frozenset (``"link:cpu-ndp"``) — exactly the
+    names the engine's resources and the trace observer use, so lane
+    accounting keys agree across every backend."""
+    if isinstance(key, frozenset):
+        return LINK_LANE_PREFIX + ":" + "-".join(
+            sorted(p.value for p in key)
+        )
+    return str(key)
+
+
 @dataclass(frozen=True)
 class ExecutionReport:
     """Result of executing one pipeline under one schedule.
@@ -100,6 +113,15 @@ class BatchExecutionReport:
     contained (0 when every shard took the uncollapsed engine path),
     and how many jobs each simulation backend
     (:mod:`repro.core.backends`) timed.
+
+    ``lane_occupancy`` is the per-resource busy accounting every
+    backend records while simulating: for each device or wire lane
+    (named as in :func:`lane_name`), the ``(start, end)`` occupancy
+    intervals in grant order.  The intervals are bit-identical
+    whichever backend simulated (property-tested in
+    ``tests/core/test_dag_replay.py``), which makes the derived
+    :attr:`lane_busy_seconds`/:attr:`lane_utilization` safe to trend
+    across backend selections.
     """
 
     job_reports: tuple[ExecutionReport, ...]
@@ -109,6 +131,10 @@ class BatchExecutionReport:
     n_superjobs: int = 0
     #: Jobs simulated per backend name, e.g. ``{"dag_replay": 512}``.
     backend_jobs: dict[str, int] = field(default_factory=dict)
+    #: Occupancy intervals per lane, in grant order (see class docs).
+    lane_occupancy: dict[str, tuple[tuple[float, float], ...]] = field(
+        default_factory=dict
+    )
 
     @property
     def n_jobs(self) -> int:
@@ -125,11 +151,55 @@ class BatchExecutionReport:
         )
 
     @property
+    def first_release(self) -> float:
+        """When the machine first had work: the earliest release offset
+        of an open queue, 0.0 for the t=0 closed batch (and for an
+        empty report)."""
+        if self.arrivals:
+            return min(self.arrivals)
+        return 0.0
+
+    @property
+    def busy_span(self) -> float:
+        """Shared-machine seconds from the first release to the last
+        completion.  For the t=0 batch this *is* the makespan; under an
+        open queue it excludes the idle arrival ramp before the first
+        job is released, which the makespan (an absolute virtual time)
+        includes."""
+        return self.makespan - self.first_release
+
+    @property
     def throughput(self) -> float:
-        """Jobs per second of shared-machine time."""
-        if self.makespan == 0:
+        """Jobs per second of shared-machine time (the busy span, so an
+        open queue's arrival ramp does not dilute the rate; identical
+        to jobs/makespan for the t=0 batch)."""
+        span = self.busy_span
+        if span <= 0:
             return 0.0
-        return self.n_jobs / self.makespan
+        return self.n_jobs / span
+
+    @property
+    def lane_busy_seconds(self) -> dict[str, float]:
+        """Busy (occupied) seconds per device/wire lane, summed over
+        the occupancy intervals in grant order."""
+        return {
+            lane: sum(end - start for start, end in intervals)
+            for lane, intervals in self.lane_occupancy.items()
+        }
+
+    @property
+    def lane_utilization(self) -> dict[str, float]:
+        """Busy fraction per lane over the batch's :attr:`busy_span` —
+        the "where does the saturation knee come from" signal: the lane
+        closest to 1.0 is the bottleneck.  Empty when the span is
+        degenerate (zero jobs)."""
+        span = self.busy_span
+        if span <= 0:
+            return {lane: 0.0 for lane in self.lane_occupancy}
+        return {
+            lane: busy / span
+            for lane, busy in self.lane_busy_seconds.items()
+        }
 
     @property
     def no_overlap_time(self) -> float:
@@ -288,20 +358,27 @@ class PipelineExecutor:
                 "coalesce=False pins the uncollapsed engine path; it "
                 f"cannot be combined with backend={backend!r}"
             )
+        lane_log: dict[str, list[tuple[float, float]]] = {}
         if observer is not None:
             if forced is not None and forced.name != _ENGINE_BACKEND:
                 raise SimulationError(
                     "a trace observer forces the uncollapsed engine DES; "
                     f"it cannot be combined with backend={backend!r}"
                 )
+
+            def recording(lane, label, start, end, _user=observer):
+                lane_log.setdefault(lane, []).append((start, end))
+                _user(lane, label, start, end)
+
             job_reports, makespan = self._execute_batch_engine(
-                jobs, range(n), observer, arrivals
+                jobs, range(n), recording, arrivals
             )
             return BatchExecutionReport(
                 job_reports=tuple(job_reports),
                 makespan=makespan,
                 arrivals=None if arrivals is None else tuple(arrivals),
                 backend_jobs={_ENGINE_BACKEND: n},
+                lane_occupancy=self._freeze_lanes(lane_log),
             )
 
         shards = (
@@ -318,7 +395,7 @@ class PipelineExecutor:
             )
             chosen, shard_reports, shard_makespan, shard_groups = (
                 self._simulate_shard(
-                    shard_jobs, shard_arrivals, coalesce, forced
+                    shard_jobs, shard_arrivals, coalesce, forced, lane_log
                 )
             )
             n_superjobs += shard_groups
@@ -334,7 +411,14 @@ class PipelineExecutor:
             n_shards=len(shards),
             n_superjobs=n_superjobs,
             backend_jobs=backend_jobs,
+            lane_occupancy=self._freeze_lanes(lane_log),
         )
+
+    @staticmethod
+    def _freeze_lanes(
+        lane_log: dict[str, list[tuple[float, float]]]
+    ) -> dict[str, tuple[tuple[float, float], ...]]:
+        return {lane: tuple(ivs) for lane, ivs in lane_log.items()}
 
     # ------------------------------------------------------------------
     # Batch internals: sharding, coalescing, the engine path
@@ -391,6 +475,7 @@ class PipelineExecutor:
         shard_arrivals: list[float] | None,
         coalesce: bool,
         forced: "_backends.SimulationBackend | None",
+        lane_log: dict[str, list[tuple[float, float]]],
     ) -> tuple[str, list[ExecutionReport], float, int]:
         """Time one contention shard through the backend layer.
 
@@ -400,9 +485,11 @@ class PipelineExecutor:
         backend supports everything, so the walk always terminates.
         ``coalesce=False`` pins the engine (the uncollapsed reference
         semantics); ``forced`` pins one named backend and raises when
-        that backend cannot simulate the shard.  Returns the chosen
-        backend's name, the per-job reports in shard order, the shard
-        makespan, and the super-job count.
+        that backend cannot simulate the shard.  ``lane_log`` collects
+        the shard's per-lane occupancy intervals (shards touch disjoint
+        resource sets, so the per-shard entries never interleave).
+        Returns the chosen backend's name, the per-job reports in shard
+        order, the shard makespan, and the super-job count.
         """
         if forced is not None:
             candidates: tuple = (forced,)
@@ -413,7 +500,9 @@ class PipelineExecutor:
         for candidate in candidates:
             if not candidate.supports(self, shard_jobs):
                 continue
-            result = candidate.simulate(self, shard_jobs, shard_arrivals)
+            result = candidate.simulate(
+                self, shard_jobs, shard_arrivals, lane_log
+            )
             if result is not None:
                 reports, makespan, groups = result
                 return candidate.name, reports, makespan, groups
@@ -553,6 +642,16 @@ class PipelineExecutor:
             for pipeline, schedule, processes, overhead_total in spawned
         ]
         return job_reports, makespan
+
+    @staticmethod
+    def schedule_lanes(schedule: Schedule) -> tuple[str, ...]:
+        """The device/wire lane names one scheduled job occupies — the
+        keys its occupancies land under in ``lane_occupancy``, and the
+        resources an admission controller charges its backlog to."""
+        lanes = {lane_name(p) for p in schedule.assignments.values()}
+        for pair in schedule.crossing_pairs:
+            lanes.add(lane_name(frozenset(pair)))
+        return tuple(sorted(lanes))
 
     # ------------------------------------------------------------------
     # Internals

@@ -51,7 +51,12 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Callable, Sequence
 
-from repro.core.arrivals import percentile
+from repro.core.arrivals import (
+    AdmissionDecision,
+    AdmissionPolicy,
+    percentile,
+    plan_admission,
+)
 from repro.core.backends import backend_names
 from repro.core.cost_model import OffloadCostModel, serial_links
 from repro.core.executor import (
@@ -126,6 +131,58 @@ class NdftRunResult:
 
 
 @dataclass(frozen=True)
+class AdmissionResult:
+    """What the admission controller did to one submitted batch.
+
+    ``decisions`` covers *every submitted job* in submission order —
+    including shed jobs, which never reach the simulator and therefore
+    have no entry in the result's ``jobs``.  ``counted_indices`` maps
+    into the *executed* jobs tuple: the positions whose latencies count
+    toward the post-shed SLO percentiles (admitted jobs; deprioritized
+    jobs execute but are excluded)."""
+
+    policy: AdmissionPolicy
+    decisions: tuple[AdmissionDecision, ...]
+    counted_indices: tuple[int, ...]
+
+    @property
+    def n_submitted(self) -> int:
+        return len(self.decisions)
+
+    @property
+    def admitted(self) -> int:
+        """Jobs admitted inside the SLO window."""
+        return sum(1 for d in self.decisions if d.admitted)
+
+    @property
+    def shed(self) -> int:
+        """Jobs rejected outright (never simulated)."""
+        return sum(
+            1 for d in self.decisions if not d.admitted and not d.deferred
+        )
+
+    @property
+    def deferred(self) -> int:
+        """Jobs deprioritized: executed at a deferred release."""
+        return sum(1 for d in self.decisions if d.deferred)
+
+    @property
+    def shed_rate(self) -> float:
+        """Fraction of submitted jobs rejected outright."""
+        if not self.decisions:
+            return 0.0
+        return self.shed / len(self.decisions)
+
+    @property
+    def shed_labels(self) -> tuple[str, ...]:
+        """Labels of the shed jobs, in submission order (a batch may
+        shed several jobs of the same size, so labels can repeat)."""
+        return tuple(
+            d.label for d in self.decisions if not d.admitted and not d.deferred
+        )
+
+
+@dataclass(frozen=True)
 class NdftBatchResult:
     """A batch of jobs executed concurrently on one shared machine.
 
@@ -133,6 +190,17 @@ class NdftBatchResult:
     the latency properties report completion latency — finish minus
     release — and queueing delay — latency minus the job's unloaded solo
     makespan; at t=0 they degrade to the closed-batch completion times.
+
+    Under an admission policy (``run_many(..., admission=...)``)
+    ``jobs``/``solo_times``/the latency properties cover the *executed*
+    jobs only; :attr:`admission` records what happened to every
+    submitted job, and the ``slo_*`` accessors give the post-shed
+    percentiles (admitted jobs only — identical to ``p50``/``p99`` in
+    ``shed`` mode, excluding deferred jobs in ``deprioritize`` mode).
+
+    Degenerate batches (everything shed) degrade gracefully: empty
+    latency tuples, 0.0 percentiles/means, 0.0 throughput — matching
+    the executor's empty-report conventions rather than raising.
     """
 
     jobs: tuple[NdftRunResult, ...]
@@ -140,6 +208,9 @@ class NdftBatchResult:
     #: What the same jobs cost run one at a time on a dedicated machine
     #: (the sum of standalone DES makespans).
     solo_times: tuple[float, ...]
+    #: The admission controller's record (``None`` when admission was
+    #: not requested).
+    admission: AdmissionResult | None = None
 
     @property
     def n_jobs(self) -> int:
@@ -147,7 +218,9 @@ class NdftBatchResult:
 
     @property
     def arrivals(self) -> tuple[float, ...] | None:
-        """Per-job release offsets, or ``None`` for the t=0 batch."""
+        """Per-job release offsets, or ``None`` for the t=0 batch.
+        Under ``deprioritize`` admission these are the *actual*
+        (possibly deferred) releases the simulation used."""
         return self.batch_report.arrivals
 
     @property
@@ -156,7 +229,12 @@ class NdftBatchResult:
         return self.batch_report.completion_latencies
 
     def latency_percentile(self, q: float) -> float:
-        return percentile(self.completion_latencies, q)
+        """The ``q``-th completion-latency percentile over the executed
+        jobs; 0.0 for an empty (fully shed) batch."""
+        latencies = self.completion_latencies
+        if not latencies:
+            return 0.0
+        return percentile(latencies, q)
 
     @property
     def p50_latency(self) -> float:
@@ -165,6 +243,32 @@ class NdftBatchResult:
     @property
     def p99_latency(self) -> float:
         return self.latency_percentile(99.0)
+
+    @property
+    def slo_latencies(self) -> tuple[float, ...]:
+        """Latencies of the jobs counted toward the SLO: everything
+        executed when admission is off, the admitted subset under a
+        policy (shed jobs never execute; deferred jobs are excluded)."""
+        latencies = self.completion_latencies
+        if self.admission is None:
+            return latencies
+        return tuple(latencies[i] for i in self.admission.counted_indices)
+
+    def slo_latency_percentile(self, q: float) -> float:
+        """Post-shed percentile over :attr:`slo_latencies` (0.0 when
+        nothing was admitted)."""
+        latencies = self.slo_latencies
+        if not latencies:
+            return 0.0
+        return percentile(latencies, q)
+
+    @property
+    def slo_p50_latency(self) -> float:
+        return self.slo_latency_percentile(50.0)
+
+    @property
+    def slo_p99_latency(self) -> float:
+        return self.slo_latency_percentile(99.0)
 
     @property
     def queueing_delays(self) -> tuple[float, ...]:
@@ -177,7 +281,11 @@ class NdftBatchResult:
 
     @property
     def mean_queueing_delay(self) -> float:
+        """Average queueing delay; 0.0 for an empty (fully shed) batch,
+        matching :attr:`throughput`'s degenerate convention."""
         delays = self.queueing_delays
+        if not delays:
+            return 0.0
         return sum(delays) / len(delays)
 
     @property
@@ -186,9 +294,29 @@ class NdftBatchResult:
         return self.batch_report.makespan
 
     @property
+    def busy_span(self) -> float:
+        """First release to last completion (== makespan at t=0)."""
+        return self.batch_report.busy_span
+
+    @property
     def throughput(self) -> float:
-        """Jobs per second of shared-machine time."""
+        """Jobs per second of shared-machine time — the busy span, so
+        an open queue's idle arrival ramp does not dilute the rate.
+        For the t=0 batch the busy span *is* the makespan, so the
+        closed-batch numbers are unchanged."""
         return self.batch_report.throughput
+
+    @property
+    def lane_busy_seconds(self) -> dict[str, float]:
+        """Busy seconds per device/wire lane (see the executor's
+        ``lane_occupancy``)."""
+        return self.batch_report.lane_busy_seconds
+
+    @property
+    def lane_utilization(self) -> dict[str, float]:
+        """Busy fraction per lane over the busy span — which device or
+        wire the batch actually saturated."""
+        return self.batch_report.lane_utilization
 
     @property
     def serial_time(self) -> float:
@@ -197,10 +325,16 @@ class NdftBatchResult:
 
     @property
     def batching_speedup(self) -> float:
-        """Makespan advantage of sharing the machine across the batch."""
-        if self.makespan == 0:
+        """Busy-span advantage of sharing the machine across the batch.
+        Computed over the busy span (first release to last completion)
+        so an open queue's arrival ramp — idle time before the first
+        job exists — does not count as shared-machine time; for the
+        t=0 batch the busy span is the makespan and the speedup is
+        unchanged."""
+        span = self.busy_span
+        if span <= 0:
             return 1.0
-        return self.serial_time / self.makespan
+        return self.serial_time / span
 
     def job_completion_times(self) -> tuple[tuple[str, float], ...]:
         """Per-job ``(label, completion seconds)`` in submission order
@@ -582,6 +716,7 @@ class NdftFramework:
         coalesce: bool = True,
         shard: bool = True,
         backend: str | None = None,
+        admission: AdmissionPolicy | None = None,
     ) -> NdftBatchResult:
         """Schedule and execute a batch of heterogeneous jobs through one
         shared machine.
@@ -610,6 +745,16 @@ class NdftFramework:
         every shard (:mod:`repro.core.backends`; the default lets the
         registry pick the fastest supporting one per shard).  Results
         are bit-identical whichever backend simulates.
+
+        ``admission`` applies an SLO-driven
+        :class:`~repro.core.arrivals.AdmissionPolicy` to the open queue
+        (it requires ``arrivals``): each arrival's completion is
+        predicted from its memoized solo-time estimate plus the current
+        backlog on its placement's lanes, violators are shed (never
+        simulated) or deprioritized (released after the predicted
+        drain), and the result's :attr:`NdftBatchResult.admission`
+        records every decision.  The plan is deterministic — the same
+        arrivals and policy always shed the same set.
         """
         if not batch:
             raise ValueError("run_many needs at least one job")
@@ -631,6 +776,33 @@ class NdftFramework:
             schedule = self._schedule_for(pipeline, signature)
             jobs.append((problem, pipeline, schedule, signature))
 
+        # Solo (dedicated-machine) makespans first: the admission
+        # controller's completion estimates need them, and they are
+        # pure per-signature derivations — computing them before or
+        # after the shared simulation changes nothing.
+        solo_times = tuple(
+            self._solo_report(pipeline, schedule, signature).total_time
+            for _p, pipeline, schedule, signature in jobs
+        )
+        admission_result = None
+        if admission is not None:
+            jobs, arrivals, solo_times, admission_result = self._admit(
+                admission, jobs, arrivals, solo_times
+            )
+            if not jobs:  # everything shed: nothing to simulate
+                return NdftBatchResult(
+                    jobs=(),
+                    batch_report=BatchExecutionReport(
+                        job_reports=(),
+                        makespan=0.0,
+                        arrivals=(),
+                        n_shards=0,
+                        n_superjobs=0,
+                    ),
+                    solo_times=(),
+                    admission=admission_result,
+                )
+
         batch_report = self.executor.execute_many(
             [(pipeline, schedule) for _p, pipeline, schedule, _s in jobs],
             arrivals=arrivals,
@@ -640,10 +812,6 @@ class NdftFramework:
         )
         for name, count in batch_report.backend_jobs.items():
             self._backend_jobs[name] = self._backend_jobs.get(name, 0) + count
-        solo_times = tuple(
-            self._solo_report(pipeline, schedule, signature).total_time
-            for _p, pipeline, schedule, signature in jobs
-        )
         results = tuple(
             self._run_result(problem, pipeline, schedule, report)
             for (problem, pipeline, schedule, _s), report in zip(
@@ -651,7 +819,62 @@ class NdftFramework:
             )
         )
         return NdftBatchResult(
-            jobs=results, batch_report=batch_report, solo_times=solo_times
+            jobs=results,
+            batch_report=batch_report,
+            solo_times=solo_times,
+            admission=admission_result,
+        )
+
+    def _admit(
+        self,
+        admission: AdmissionPolicy,
+        jobs: list,
+        arrivals: Sequence[float] | None,
+        solo_times: tuple[float, ...],
+    ) -> tuple[list, list[float], tuple[float, ...], AdmissionResult]:
+        """Run the admission controller over a resolved batch and
+        return the executed subset: jobs, (possibly deferred) releases,
+        solo times, and the full decision record."""
+        if arrivals is None:
+            raise ConfigError(
+                "admission control acts on an open queue: pass arrivals= "
+                "(e.g. poisson_arrivals) alongside admission="
+            )
+        arrivals = [float(offset) for offset in arrivals]
+        if len(arrivals) != len(jobs):
+            raise ConfigError(
+                f"{len(jobs)} jobs but {len(arrivals)} arrival offsets"
+            )
+        decisions = plan_admission(
+            admission,
+            arrivals,
+            solo_times,
+            [
+                PipelineExecutor.schedule_lanes(schedule)
+                for _p, _pipe, schedule, _s in jobs
+            ],
+            [problem.label for problem, _pipe, _s, _sig in jobs],
+        )
+        executed = [
+            i
+            for i, decision in enumerate(decisions)
+            if decision.admitted or decision.deferred
+        ]
+        counted = tuple(
+            position
+            for position, i in enumerate(executed)
+            if decisions[i].admitted
+        )
+        admission_result = AdmissionResult(
+            policy=admission,
+            decisions=decisions,
+            counted_indices=counted,
+        )
+        return (
+            [jobs[i] for i in executed],
+            [decisions[i].release for i in executed],
+            tuple(solo_times[i] for i in executed),
+            admission_result,
         )
 
     # ------------------------------------------------------------------

@@ -20,7 +20,7 @@ from __future__ import annotations
 
 from dataclasses import dataclass
 
-from repro.core.arrivals import poisson_arrivals
+from repro.core.arrivals import AdmissionPolicy, poisson_arrivals
 from repro.core.framework import NdftBatchResult, NdftFramework
 
 #: Default mixed batch: two small interactive jobs sharing the machine
@@ -68,20 +68,25 @@ def run_batch_study(
     framework: NdftFramework | None = None,
     arrival_rate: float | None = None,
     arrival_seed: int = 0,
+    admission: AdmissionPolicy | None = None,
 ) -> BatchStudy:
     """Schedule + execute the batch on one shared machine.
 
     ``arrival_rate`` switches the closed t=0 batch to an open queue:
     jobs are released by a seeded Poisson process at that offered load
     (jobs per second of virtual time), and the study reports completion
-    latency and queueing delay per job."""
+    latency and queueing delay per job.  ``admission`` applies an
+    SLO-driven admission policy to the open queue (it requires an
+    arrival process)."""
     framework = framework or NdftFramework()
     arrivals = None
     if arrival_rate is not None and arrival_rate > 0:
         arrivals = poisson_arrivals(len(sizes), arrival_rate, seed=arrival_seed)
     return BatchStudy(
         sizes=tuple(sizes),
-        result=framework.run_many(list(sizes), arrivals=arrivals),
+        result=framework.run_many(
+            list(sizes), arrivals=arrivals, admission=admission
+        ),
     )
 
 
@@ -110,6 +115,28 @@ def format_batch(study: BatchStudy) -> str:
             f"p99 {result.p99_latency:.4f} s, "
             f"mean queueing delay {result.mean_queueing_delay:.4f} s"
         )
+        if result.admission is not None:
+            admission = result.admission
+            shed = (
+                f" ({', '.join(admission.shed_labels)})"
+                if admission.shed_labels
+                else ""
+            )
+            lines.append(
+                f"admission ({admission.policy.mode}): "
+                f"{admission.admitted} admitted, {admission.shed} shed"
+                f"{shed}, {admission.deferred} deferred; "
+                f"post-shed p99 {result.slo_p99_latency:.4f} s"
+            )
+        if result.lane_utilization:
+            lanes = ", ".join(
+                f"{lane} {value:.0%}"
+                for lane, value in sorted(
+                    result.lane_utilization.items(),
+                    key=lambda item: -item[1],
+                )
+            )
+            lines.append(f"lane utilization: {lanes}")
         return "\n".join(lines)
     lines = [
         f"Batched serving - {len(study.sizes)} concurrent jobs, shared CPU-NDP machine",

@@ -27,10 +27,21 @@ only when the two measurements are actually comparable: same host class
 arrival seed (a different Poisson process is a different experiment,
 not a regression).
 
+The arrival sweep's **knee dominant lane** is pinned as well: when both
+files swept the same load grid (same seed, batch size and rates) and
+both located a knee at the same rate, the most-utilized device/wire
+lane at the knee must not silently change identity — "the NDP units saturate first"
+turning into "the CXL link saturates first" is a modeling regression
+even when every latency still passes.  Lane utilization is virtual-time
+accounting, so this gate applies across host classes.
+
 Structural problems — a baseline-only (``--no-cache``) file, no shared
-batch sizes — are refused outright regardless of host metadata.  The
-comparison is deliberately coarse (default: 30 % regression, on
-best-of-N minima) and the verdict prints both files' host metadata.
+batch sizes, or files measured under *different admission policies*
+(shed rates and post-shed latencies from one policy cannot be trended
+against another's, mirroring the forced-backend refusal) — are refused
+outright regardless of host metadata.  The comparison is deliberately
+coarse (default: 30 % regression, on best-of-N minima) and the verdict
+prints both files' host metadata.
 
 Usage::
 
@@ -120,7 +131,28 @@ def compare_serving_reports(
             f"{backend_fresh or 'auto'}) and cannot be trended against "
             "each other"
         ]
+    # Mirror of the forced-backend refusal for admission control: shed
+    # rates, lane utilization and post-shed latencies measured under one
+    # policy are a different experiment from another's (or from no
+    # policy at all).  Files predating the field (no "admission" key)
+    # read as admission-off.
+    admission_committed = committed.get("admission")
+    admission_fresh = fresh.get("admission")
+    if admission_committed != admission_fresh:
+        return [
+            "committed and fresh reports were measured under different "
+            f"admission policies ({admission_committed or 'off'} vs "
+            f"{admission_fresh or 'off'}) and cannot be trended against "
+            "each other"
+        ]
     failures = []
+    knee_lanes = _comparable_knee_lanes(committed, fresh)
+    if knee_lanes is not None and knee_lanes[0] != knee_lanes[1]:
+        failures.append(
+            "the saturation knee's dominant lane changed from "
+            f"{knee_lanes[0]!r} to {knee_lanes[1]!r} at matching sweep "
+            "conditions — the bottleneck silently changed class"
+        )
     committed_points = _points_by_batch_size(committed)
     fresh_points = _points_by_batch_size(fresh)
     shared = sorted(set(committed_points) & set(fresh_points))
@@ -163,6 +195,41 @@ def compare_serving_reports(
                     f"tolerance +{max_regression:.0%})"
                 )
     return failures
+
+
+def _comparable_knee_lanes(
+    committed: dict, fresh: dict
+) -> tuple[str, str] | None:
+    """Both files' knee dominant lanes, when their arrival sweeps can be
+    trended against each other: both present, both located a knee with
+    a recorded dominant lane, the same seed, batch size and rate grid
+    (a different sweep is a different experiment), and the *same knee
+    rate* — two knees at different rates are different operating
+    points, so their dominant lanes are not comparable.  Lane identity
+    is virtual-time accounting, so host class does not matter."""
+    sweep_before = committed.get("arrival_sweep") or {}
+    sweep_after = fresh.get("arrival_sweep") or {}
+    before = sweep_before.get("knee_dominant_lane")
+    after = sweep_after.get("knee_dominant_lane")
+    if before is None or after is None:
+        return None
+    if sweep_before.get("seed") != sweep_after.get("seed") or sweep_before.get(
+        "batch_size"
+    ) != sweep_after.get("batch_size"):
+        return None
+    if sweep_before.get("knee_rate_jobs_per_second") != sweep_after.get(
+        "knee_rate_jobs_per_second"
+    ):
+        return None
+    rates_before = [
+        p.get("rate_jobs_per_second") for p in sweep_before.get("points", ())
+    ]
+    rates_after = [
+        p.get("rate_jobs_per_second") for p in sweep_after.get("points", ())
+    ]
+    if rates_before != rates_after:
+        return None
+    return before, after
 
 
 def _comparable_p99(

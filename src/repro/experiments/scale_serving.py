@@ -25,8 +25,11 @@ around.  This driver measures exactly that:
   :mod:`repro.core.backends`), with ``--backend`` forcing one backend
   for every measurement (the replay-vs-engine A/B switch);
 - optionally sweep offered load (``--arrival-sweep``): the same mix at
-  each rate of a grid, recording the latency-vs-load curve and the
-  saturation knee (:func:`run_arrival_sweep`);
+  each rate of a grid, recording the latency-vs-load curve, per-point
+  per-lane utilization (which device or wire the load saturates), the
+  shed rate under the requested admission policy (0.0 when admission is
+  off), and the saturation knee with its dominant lane
+  (:func:`run_arrival_sweep`);
 - emit the measurements as ``BENCH_serving.json`` — tagged with host
   metadata (Python version, platform, CPU count) so CI trend
   comparisons (:mod:`repro.experiments.bench_compare`) are
@@ -48,7 +51,7 @@ from dataclasses import dataclass
 from pathlib import Path
 from typing import Sequence
 
-from repro.core.arrivals import poisson_arrivals
+from repro.core.arrivals import AdmissionPolicy, poisson_arrivals
 from repro.core.framework import NdftBatchResult, NdftFramework
 
 #: Default batch-size sweep (jobs per ``run_many`` call).
@@ -111,14 +114,17 @@ def measure_run_many(
     repeats: int = 3,
     arrivals: Sequence[float] | None = None,
     backend: str | None = None,
+    admission: AdmissionPolicy | None = None,
 ) -> tuple[float, NdftBatchResult]:
     """Best-of-``repeats`` wall-clock seconds for one cold ``run_many``.
 
     A fresh framework per repeat keeps every measurement cold-cache; the
     minimum over repeats is the standard noise filter for wall-clock
     micro-measurements.  ``arrivals`` forwards release offsets (the
-    open-queue serving mode) and ``backend`` forces one simulation
-    backend (:mod:`repro.core.backends`) — the serve-bench A/B switch."""
+    open-queue serving mode), ``backend`` forces one simulation backend
+    (:mod:`repro.core.backends`) — the serve-bench A/B switch — and
+    ``admission`` applies an SLO-driven admission policy to the open
+    queue."""
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     best = float("inf")
@@ -130,6 +136,7 @@ def measure_run_many(
             sizes,
             arrivals=arrivals,
             backend=backend,
+            admission=admission,
         )
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
@@ -137,10 +144,38 @@ def measure_run_many(
     return best, result
 
 
+def dominant_lane(lane_utilization: dict) -> str | None:
+    """The most-utilized device/wire lane — the saturation suspect.
+    Ties break on the lane name so the verdict is deterministic;
+    ``None`` for an empty (fully shed) measurement."""
+    if not lane_utilization:
+        return None
+    return max(sorted(lane_utilization), key=lambda lane: lane_utilization[lane])
+
+
+def _shed_stats(result: NdftBatchResult) -> tuple[float, int, int]:
+    """(shed rate, admitted count, shed count) of one measurement —
+    zeros/full-batch when admission was off."""
+    if result.admission is None:
+        return 0.0, result.n_jobs, 0
+    report = result.admission
+    return report.shed_rate, report.admitted, report.shed
+
+
 @dataclass(frozen=True)
 class ArrivalPoint:
     """The open-queue measurement at one sweep point: the same job mix
-    released by a seeded Poisson process instead of all at t=0."""
+    released by a seeded Poisson process instead of all at t=0.
+
+    ``lane_utilization`` is the per-device/per-wire busy fraction over
+    the busy span; ``shed_rate``/``admitted``/``shed`` describe the
+    admission outcome (rate 0.0 and a full batch when admission is
+    off).  Latency percentiles are the SLO-counted (post-shed) ones
+    when a policy ran: identical to the executed-batch percentiles in
+    ``shed`` mode, excluding deferred jobs in ``deprioritize`` mode —
+    a deferred job's latency is measured from its *deferred* release,
+    so folding it into the tail would deflate the curve exactly where
+    the backlog is worst."""
 
     rate: float
     seed: int
@@ -149,6 +184,10 @@ class ArrivalPoint:
     p50_latency: float
     p99_latency: float
     mean_queueing_delay: float
+    lane_utilization: dict = None  # type: ignore[assignment]
+    shed_rate: float = 0.0
+    admitted: int | None = None
+    shed: int = 0
 
     def to_json_dict(self) -> dict:
         return {
@@ -159,6 +198,11 @@ class ArrivalPoint:
             "p50_latency_seconds": self.p50_latency,
             "p99_latency_seconds": self.p99_latency,
             "mean_queueing_delay_seconds": self.mean_queueing_delay,
+            "lane_utilization": self.lane_utilization,
+            "dominant_lane": dominant_lane(self.lane_utilization or {}),
+            "shed_rate": self.shed_rate,
+            "admitted": self.admitted,
+            "shed": self.shed,
         }
 
 
@@ -201,7 +245,11 @@ class ServePoint:
 
 @dataclass(frozen=True)
 class ArrivalSweepPoint:
-    """One offered-load point of the latency-vs-load sweep."""
+    """One offered-load point of the latency-vs-load sweep, with the
+    per-lane utilization that explains *where* the load goes and the
+    admission outcome at this rate (shed rate 0.0 when admission is
+    off).  Latency percentiles follow :class:`ArrivalPoint`'s
+    convention: the SLO-counted (post-shed) ones when a policy ran."""
 
     rate: float
     wall_seconds: float
@@ -209,6 +257,14 @@ class ArrivalSweepPoint:
     p50_latency: float
     p99_latency: float
     mean_queueing_delay: float
+    lane_utilization: dict = None  # type: ignore[assignment]
+    shed_rate: float = 0.0
+    admitted: int | None = None
+    shed: int = 0
+
+    @property
+    def dominant_lane(self) -> str | None:
+        return dominant_lane(self.lane_utilization or {})
 
     def to_json_dict(self) -> dict:
         return {
@@ -218,6 +274,11 @@ class ArrivalSweepPoint:
             "p50_latency_seconds": self.p50_latency,
             "p99_latency_seconds": self.p99_latency,
             "mean_queueing_delay_seconds": self.mean_queueing_delay,
+            "lane_utilization": self.lane_utilization,
+            "dominant_lane": self.dominant_lane,
+            "shed_rate": self.shed_rate,
+            "admitted": self.admitted,
+            "shed": self.shed,
         }
 
 
@@ -225,13 +286,19 @@ class ArrivalSweepPoint:
 class ArrivalSweep:
     """Latency vs offered load over a rate grid, plus the saturation
     knee: the lowest swept rate whose p99 latency exceeds
-    :data:`KNEE_LATENCY_FACTOR` times the lowest-rate point's p99
-    (``None`` while every point stays under it)."""
+    :data:`KNEE_LATENCY_FACTOR` times the baseline p99 — the lowest
+    swept rate with a *positive* p99, so a degenerate 0.0 baseline
+    cannot declare every later point a knee (``None`` while every point
+    stays under it).  ``knee_dominant_lane`` is the most-utilized lane
+    at the knee point — which device or wire the knee comes from — and
+    what the CI trend gate pins (a silently changed bottleneck class is
+    a modeling regression even when the latencies still pass)."""
 
     batch_size: int
     seed: int
     points: tuple[ArrivalSweepPoint, ...]
     knee_rate: float | None
+    knee_dominant_lane: str | None = None
 
     def to_json_dict(self) -> dict:
         return {
@@ -239,6 +306,7 @@ class ArrivalSweep:
             "seed": self.seed,
             "knee_latency_factor": KNEE_LATENCY_FACTOR,
             "knee_rate_jobs_per_second": self.knee_rate,
+            "knee_dominant_lane": self.knee_dominant_lane,
             "points": [p.to_json_dict() for p in self.points],
         }
 
@@ -248,13 +316,24 @@ def find_saturation_knee(
     factor: float = KNEE_LATENCY_FACTOR,
 ) -> float | None:
     """The lowest swept rate whose p99 latency exceeds ``factor`` times
-    the lowest-rate point's p99 — the point the latency-vs-load curve
-    turns the corner.  ``None`` when no point exceeds it (the sweep
-    never reached saturation)."""
+    the baseline p99 — the point the latency-vs-load curve turns the
+    corner.  ``None`` when no point exceeds it (the sweep never reached
+    saturation).
+
+    The baseline is the lowest-rate point with a *positive* p99.  A
+    0.0 baseline (a degenerate sweep where the lowest-rate batch saw no
+    latency at all — single-job batches, or everything shed by an
+    aggressive admission policy) used to make ``factor * baseline == 0``
+    and every later point "knee"; such points now merely advance the
+    baseline search, and a sweep whose every p99 is 0.0 has no knee."""
     if not points:
         return None
     ordered = sorted(points, key=lambda p: p.rate)
-    baseline = ordered[0].p99_latency
+    baseline = next(
+        (p.p99_latency for p in ordered if p.p99_latency > 0.0), None
+    )
+    if baseline is None:
+        return None
     for point in ordered:
         if point.p99_latency > factor * baseline:
             return point.rate
@@ -269,10 +348,13 @@ def run_arrival_sweep(
     seed: int = 0,
     memoize: bool = True,
     backend: str | None = None,
+    admission: AdmissionPolicy | None = None,
 ) -> ArrivalSweep:
     """Sweep offered load over ``rates``: the same ``batch_size``-job mix
     released by a seeded Poisson process at each rate, recording the
-    latency-vs-load curve and the saturation knee."""
+    latency-vs-load curve (with per-lane utilization and, under
+    ``admission``, the shed rate per point) and the saturation knee
+    with its dominant lane."""
     if not rates:
         raise ValueError("arrival sweep needs at least one rate")
     if any(rate <= 0 for rate in rates):
@@ -287,22 +369,37 @@ def run_arrival_sweep(
             repeats=repeats,
             arrivals=offsets,
             backend=backend,
+            admission=admission,
         )
+        shed_rate, admitted, shed = _shed_stats(result)
         points.append(
             ArrivalSweepPoint(
                 rate=rate,
                 wall_seconds=wall,
                 makespan=result.makespan,
-                p50_latency=result.p50_latency,
-                p99_latency=result.p99_latency,
+                p50_latency=result.slo_p50_latency,
+                p99_latency=result.slo_p99_latency,
                 mean_queueing_delay=result.mean_queueing_delay,
+                lane_utilization=dict(result.lane_utilization),
+                shed_rate=shed_rate,
+                admitted=admitted,
+                shed=shed,
             )
+        )
+    knee_rate = find_saturation_knee(points)
+    knee_dominant = None
+    if knee_rate is not None:
+        knee_dominant = next(
+            point.dominant_lane
+            for point in points
+            if point.rate == knee_rate
         )
     return ArrivalSweep(
         batch_size=batch_size,
         seed=seed,
         points=tuple(points),
-        knee_rate=find_saturation_knee(points),
+        knee_rate=knee_rate,
+        knee_dominant_lane=knee_dominant,
     )
 
 
@@ -320,6 +417,10 @@ class ServeBenchReport:
     backend: str | None = None
     #: Latency-vs-load sweep (``--arrival-sweep``), when requested.
     arrival_sweep: ArrivalSweep | None = None
+    #: Admission policy applied to every open-queue measurement
+    #: (``None`` = admission off; recorded so trend comparisons refuse
+    #: mixing files measured under different policies).
+    admission: AdmissionPolicy | None = None
 
     def to_json_dict(self) -> dict:
         return {
@@ -327,6 +428,9 @@ class ServeBenchReport:
             "unit": "wall-clock seconds per run_many call (best of repeats)",
             "fast_path": self.fast_path,
             "backend": self.backend,
+            "admission": (
+                None if self.admission is None else self.admission.to_json_dict()
+            ),
             "metadata": host_metadata(),
             "mix": list(self.mix),
             "repeats": self.repeats,
@@ -386,6 +490,7 @@ def run_serve_bench(
     arrival_seed: int = 0,
     backend: str | None = None,
     arrival_sweep_rates: Sequence[float] | None = None,
+    admission: AdmissionPolicy | None = None,
 ) -> ServeBenchReport:
     """Run the sweep.
 
@@ -396,15 +501,20 @@ def run_serve_bench(
 
     ``arrival_rate`` additionally measures each point as an open queue —
     the same mix released by a seeded Poisson process — and records the
-    p50/p99 completion latency and mean queueing delay (``None`` or
-    ``<= 0`` disables the extra run).
+    p50/p99 completion latency, mean queueing delay, per-lane
+    utilization and admission outcome (``None`` or ``<= 0`` disables
+    the extra run).
 
     ``backend`` forces one registered simulation backend for every
     measured batch — the A/B switch for replay-vs-engine comparisons
     (``serve-bench --backend engine``).  ``arrival_sweep_rates``
     additionally runs the latency-vs-load sweep
     (:func:`run_arrival_sweep`) over those offered loads and records it
-    (with its saturation knee) in the report.
+    (with its saturation knee and the knee's dominant lane) in the
+    report.  ``admission`` applies an SLO-driven admission policy to
+    every open-queue measurement (the closed t=0 batches are never
+    subject to admission) and is recorded in the report so trend
+    comparisons can refuse mixed-policy files.
     """
     points = []
     for batch_size in batch_sizes:
@@ -440,15 +550,21 @@ def run_serve_bench(
                 repeats=repeats,
                 arrivals=offsets,
                 backend=backend,
+                admission=admission,
             )
+            shed_rate, admitted, shed = _shed_stats(arrival_result)
             arrival = ArrivalPoint(
                 rate=arrival_rate,
                 seed=arrival_seed,
                 wall_seconds=arrival_wall,
                 makespan=arrival_result.makespan,
-                p50_latency=arrival_result.p50_latency,
-                p99_latency=arrival_result.p99_latency,
+                p50_latency=arrival_result.slo_p50_latency,
+                p99_latency=arrival_result.slo_p99_latency,
                 mean_queueing_delay=arrival_result.mean_queueing_delay,
+                lane_utilization=dict(arrival_result.lane_utilization),
+                shed_rate=shed_rate,
+                admitted=admitted,
+                shed=shed,
             )
         points.append(
             ServePoint(
@@ -472,6 +588,7 @@ def run_serve_bench(
             seed=arrival_seed,
             memoize=cached,
             backend=backend,
+            admission=admission,
         )
     return ServeBenchReport(
         mix=tuple(mix),
@@ -480,6 +597,7 @@ def run_serve_bench(
         fast_path=cached,
         backend=backend,
         arrival_sweep=arrival_sweep,
+        admission=admission,
     )
 
 
@@ -530,16 +648,26 @@ def format_serve_bench(report: ServeBenchReport, cached: bool = True) -> str:
             f"\nopen queue (Poisson arrivals at {rate:g} jobs/s, "
             f"seed {arrivals[0].arrival.seed}):"
         )
+        if report.admission is not None:
+            policy = report.admission
+            criteria = []
+            if policy.slo_p99 is not None:
+                criteria.append(f"slo_p99 {policy.slo_p99:g} s")
+            if policy.max_queue_depth is not None:
+                criteria.append(f"max_queue_depth {policy.max_queue_depth}")
+            lines.append(
+                f"admission: {policy.mode} past {', '.join(criteria)}"
+            )
         lines.append(
             f"{'batch':>6s} {'wall (s)':>10s} {'p50 lat (s)':>12s} "
-            f"{'p99 lat (s)':>12s} {'queue delay':>12s}"
+            f"{'p99 lat (s)':>12s} {'queue delay':>12s} {'shed':>6s}"
         )
         for p in arrivals:
             a = p.arrival
             lines.append(
                 f"{p.batch_size:6d} {a.wall_seconds:10.4f} "
                 f"{a.p50_latency:12.4f} {a.p99_latency:12.4f} "
-                f"{a.mean_queueing_delay:12.4f}"
+                f"{a.mean_queueing_delay:12.4f} {a.shed_rate:5.0%}"
             )
     sweep = report.arrival_sweep
     if sweep is not None:
@@ -549,13 +677,21 @@ def format_serve_bench(report: ServeBenchReport, cached: bool = True) -> str:
         )
         lines.append(
             f"{'rate':>6s} {'p50 lat (s)':>12s} {'p99 lat (s)':>12s} "
-            f"{'queue delay':>12s} {'makespan (s)':>13s}"
+            f"{'queue delay':>12s} {'makespan (s)':>13s} {'shed':>6s} "
+            f"{'busiest lane':>18s}"
         )
         for point in sweep.points:
+            busiest = point.dominant_lane
+            utilization = (
+                "-"
+                if busiest is None
+                else f"{busiest} {point.lane_utilization[busiest]:.0%}"
+            )
             lines.append(
                 f"{point.rate:6.2f} {point.p50_latency:12.4f} "
                 f"{point.p99_latency:12.4f} "
-                f"{point.mean_queueing_delay:12.4f} {point.makespan:13.3f}"
+                f"{point.mean_queueing_delay:12.4f} {point.makespan:13.3f} "
+                f"{point.shed_rate:5.0%} {utilization:>18s}"
             )
         if sweep.knee_rate is None:
             lines.append(
@@ -565,6 +701,7 @@ def format_serve_bench(report: ServeBenchReport, cached: bool = True) -> str:
         else:
             lines.append(
                 f"saturation knee: ~{sweep.knee_rate:g} jobs/s "
-                f"(first rate with p99 > {KNEE_LATENCY_FACTOR:g}x baseline)"
+                f"(first rate with p99 > {KNEE_LATENCY_FACTOR:g}x baseline; "
+                f"dominant lane: {sweep.knee_dominant_lane})"
             )
     return "\n".join(lines)

@@ -390,7 +390,7 @@ def replay_chain_batch(
     job_tasks: "list",
     arrivals: "list[float]",
     n_resources: int,
-) -> tuple[list[float], float]:
+) -> tuple[list[float], float, list[list[tuple[float, float]]]]:
     """FIFO replay of a batch of single-chain jobs on shared resources.
 
     ``job_tasks[j]`` is job ``j``'s task list — ``(resource_index,
@@ -398,9 +398,14 @@ def replay_chain_batch(
     interleaved with device occupancies); ``arrivals[j]`` is its release
     time.  Resources are capacity-1 and FIFO, exactly like
     :class:`Resource`, and every duration must be positive (the caller
-    guarantees it).  Returns the per-job completion times and the
-    makespan (the last completion), bit-identical to spawning one engine
-    process per stage.
+    guarantees it).  Returns the per-job completion times, the makespan
+    (the last completion), and per-resource occupancy intervals —
+    ``occupancy[r]`` is resource ``r``'s ``(start, end)`` list in grant
+    order, where ``end`` is the exact float pushed as the completion
+    event (``start + duration``) — all bit-identical to spawning one
+    engine process per stage (on a capacity-1 resource the grant order
+    *is* the completion order, so the interval lists line up with the
+    engine's occupancy stream entry for entry).
 
     Event discipline mirrors the engine's ordering contract exactly,
     including same-instant ties.  One heap entry per occupancy, pushed
@@ -443,6 +448,9 @@ def replay_chain_batch(
     seq = calendar.seq
     busy = [False] * n_resources
     waiters: list[deque[int]] = [deque() for _ in range(n_resources)]
+    occupancy: list[list[tuple[float, float]]] = [
+        [] for _ in range(n_resources)
+    ]
     cursor = [0] * n  # index of the task currently requested/running
     started = [False] * n  # False until the arrival event is consumed
     completions = [0.0] * n
@@ -467,10 +475,9 @@ def replay_chain_batch(
                 if queue:
                     waiter = queue.popleft()
                     payload[seq] = waiter
-                    push(
-                        heap,
-                        (time + job_tasks[waiter][cursor[waiter]][1], seq),
-                    )
+                    end = time + job_tasks[waiter][cursor[waiter]][1]
+                    occupancy[resource].append((time, end))
+                    push(heap, (end, seq))
                     seq += 1
                 else:
                     busy[resource] = False
@@ -489,7 +496,9 @@ def replay_chain_batch(
             else:
                 busy[resource] = True
                 payload[seq] = job
-                push(heap, (time + duration, seq))
+                end = time + duration
+                occupancy[resource].append((time, end))
+                push(heap, (end, seq))
                 seq += 1
             continue
         # Same-instant collision: banded cascade emulation.
@@ -544,10 +553,13 @@ def replay_chain_batch(
             for action, job in hop_now:
                 if action == _START:
                     payload[seq] = job
-                    push(
-                        heap,
-                        (time + job_tasks[job][cursor[job]][1], seq),
+                    resource, duration = (
+                        job_tasks[job][cursor[job]][0],
+                        job_tasks[job][cursor[job]][1],
                     )
+                    end = time + duration
+                    occupancy[resource].append((time, end))
+                    push(heap, (end, seq))
                     seq += 1
                 else:
                     resource = job_tasks[job][cursor[job]][0]
@@ -557,7 +569,7 @@ def replay_chain_batch(
                         busy[resource] = True
                         upcoming.append((_START, job))
             hop_now = upcoming
-    return completions, makespan
+    return completions, makespan, occupancy
 
 
 # ---------------------------------------------------------------------------
@@ -587,7 +599,7 @@ def replay_dag_batch(
     job_programs: "list",
     arrivals: "list[float]",
     n_resources: int,
-) -> tuple[list[float], float]:
+) -> tuple[list[float], float, list[list[tuple[float, float]]]]:
     """FIFO replay of a batch of DAG-shaped jobs on shared resources.
 
     ``job_programs[j]`` describes job ``j`` as ``(stage_tasks,
@@ -598,8 +610,11 @@ def replay_dag_batch(
     predecessor stage indices in in-edge order.  ``arrivals[j]`` is the
     job's release time.  Resources are capacity-1 and FIFO, exactly like
     :class:`Resource`, and every duration must be positive (the caller
-    guarantees it).  Returns per-job completion times and the makespan,
-    bit-identical to spawning one engine process per stage.
+    guarantees it).  Returns per-job completion times, the makespan,
+    and per-resource occupancy intervals in grant order (the same
+    ``(start, start + duration)`` floats as
+    :func:`replay_chain_batch`'s), bit-identical to spawning one engine
+    process per stage.
 
     This generalizes :func:`replay_chain_batch` from one cursor per job
     to one cursor per *replica-stage* plus a join counter
@@ -667,6 +682,9 @@ def replay_dag_batch(
     stage_done = [False] * total
     busy = [False] * n_resources
     waiters: list[deque[int]] = [deque() for _ in range(n_resources)]
+    occupancy: list[list[tuple[float, float]]] = [
+        [] for _ in range(n_resources)
+    ]
     completions = [0.0] * n
     makespan = 0.0
 
@@ -704,10 +722,9 @@ def replay_dag_batch(
                 if queue:
                     waiter = queue.popleft()
                     payload[seq] = waiter
-                    push(
-                        heap,
-                        (time + rs_tasks[waiter][cursor[waiter]][1], seq),
-                    )
+                    end = time + rs_tasks[waiter][cursor[waiter]][1]
+                    occupancy[resource].append((time, end))
+                    push(heap, (end, seq))
                     seq += 1
                 else:
                     busy[resource] = False
@@ -720,7 +737,9 @@ def replay_dag_batch(
                     else:
                         busy[resource] = True
                         payload[seq] = rs
-                        push(heap, (time + tasks[index][1], seq))
+                        end = time + tasks[index][1]
+                        occupancy[resource].append((time, end))
+                        push(heap, (end, seq))
                         seq += 1
                     continue
                 stage_done[rs] = True
@@ -743,7 +762,9 @@ def replay_dag_batch(
                 else:
                     busy[resource] = True
                     payload[seq] = rs
-                    push(heap, (time + tasks[0][1], seq))
+                    end = time + tasks[0][1]
+                    occupancy[resource].append((time, end))
+                    push(heap, (end, seq))
                     seq += 1
                 continue
         else:
@@ -791,7 +812,10 @@ def replay_dag_batch(
                 rs = action >> 2
                 if code == _A_START:
                     payload[seq] = rs
-                    push(heap, (time + rs_tasks[rs][cursor[rs]][1], seq))
+                    resource, duration = rs_tasks[rs][cursor[rs]]
+                    end = time + duration
+                    occupancy[resource].append((time, end))
+                    push(heap, (end, seq))
                     seq += 1
                 elif code == _A_ACQUIRE:
                     resource = rs_tasks[rs][cursor[rs]][0]
@@ -835,4 +859,4 @@ def replay_dag_batch(
                             busy[resource] = True
                             nxt.append((rs << 2) | _A_START)
             cur = nxt
-    return completions, makespan
+    return completions, makespan, occupancy

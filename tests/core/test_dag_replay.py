@@ -308,6 +308,105 @@ class TestExactTimeTiesOnFanIn:
             assert fast.makespan == slow.makespan
 
 
+class TestLaneOccupancyEquivalence:
+    """Per-lane busy accounting is part of the backend contract: every
+    backend must record the *same* occupancy intervals — the engine's
+    exact floats, in grant order — so ``lane_utilization`` is safe to
+    trend whichever simulator ran."""
+
+    @pytest.mark.parametrize("seed", [20, 21, 22, 23])
+    def test_chain_batches_identical_across_all_backends(self, framework, seed):
+        """Random chain batches support every backend, so all three can
+        be compared pairwise on the same shard."""
+        rng = random.Random(seed)
+        entries = [
+            (rng.choice(SIZES), build_pipeline)
+            for _ in range(rng.randint(2, 16))
+        ]
+        jobs = _jobs(framework, entries)
+        arrivals = None
+        if seed % 2:
+            arrivals = [round(rng.random() * 5, 3) for _ in jobs]
+        chain = framework.executor.execute_many(jobs, arrivals=arrivals)
+        dag = framework.executor.execute_many(
+            jobs, arrivals=arrivals, backend="dag_replay"
+        )
+        engine = framework.executor.execute_many(
+            jobs, arrivals=arrivals, backend="engine"
+        )
+        assert chain.backend_jobs == {"chain_replay": len(jobs)}
+        assert dag.backend_jobs == {"dag_replay": len(jobs)}
+        assert chain.lane_occupancy == dag.lane_occupancy
+        assert chain.lane_occupancy == engine.lane_occupancy
+        assert chain.lane_occupancy  # the accounting is actually on
+
+    @pytest.mark.parametrize("seed", [30, 31, 32, 33])
+    def test_kpoint_batches_identical_dag_vs_engine(self, framework, seed):
+        rng = random.Random(seed)
+        entries = [
+            (rng.choice(SIZES), _kpoint_builder(rng.choice((2, 3, 4))))
+            for _ in range(rng.randint(2, 12))
+        ]
+        jobs = _jobs(framework, entries)
+        arrivals = None
+        if seed % 2:
+            arrivals = [round(rng.random() * 8, 3) for _ in jobs]
+        fast = framework.executor.execute_many(jobs, arrivals=arrivals)
+        slow = framework.executor.execute_many(
+            jobs, arrivals=arrivals, backend="engine"
+        )
+        assert fast.backend_jobs == {"dag_replay": len(jobs)}
+        assert fast.lane_occupancy == slow.lane_occupancy
+
+    def test_tie_storms_record_identical_lanes(self):
+        """Constructed same-instant collisions (the banded-cascade
+        cases) must grant — and therefore account — identically."""
+        cost_model = _round_cost_model(context_switch=0.5)
+        executor = PipelineExecutor(cost_model=cost_model)
+        diamond = _diamond_tie_job("y", cost_model)
+        chain = _toy_dag(
+            "x", ("0", "1", "2"), (("0", "1", 0.0), ("1", "2", 0.0))
+        )
+        chain_schedule = _toy_schedule(
+            chain,
+            (Placement.CPU, Placement.CPU, Placement.CPU),
+            (1.0, 1.0, 1.0),
+            cost_model,
+        )
+        jobs = [diamond, (chain, chain_schedule)] * 4
+        for arrivals in (None, [0.0, 1.0] * 4, [0.5] * 8):
+            fast = executor.execute_many(jobs, arrivals=arrivals)
+            slow = executor.execute_many(
+                jobs, arrivals=arrivals, backend="engine"
+            )
+            assert fast.lane_occupancy == slow.lane_occupancy
+
+    def test_observer_path_also_accounts_lanes(self, framework):
+        jobs = _jobs(framework, [(64, build_kpoint_pipeline)] * 3)
+        plain = framework.executor.execute_many(jobs)
+        observed = framework.executor.execute_many(
+            jobs, observer=lambda *args: None
+        )
+        assert observed.lane_occupancy == plain.lane_occupancy
+
+    def test_busy_and_utilization_derive_from_intervals(self, framework):
+        jobs = _jobs(framework, [(64, build_pipeline), (512, build_pipeline)])
+        report = framework.executor.execute_many(jobs)
+        for lane, intervals in report.lane_occupancy.items():
+            assert all(end > start for start, end in intervals)
+            # Occupancies on one capacity-1 lane never overlap.
+            assert all(
+                later_start >= earlier_end
+                for (_s, earlier_end), (later_start, _e) in zip(
+                    intervals, intervals[1:]
+                )
+            )
+            busy = sum(end - start for start, end in intervals)
+            assert report.lane_busy_seconds[lane] == busy
+            assert report.lane_utilization[lane] == busy / report.busy_span
+        assert max(report.lane_utilization.values()) <= 1.0 + 1e-12
+
+
 class TestBackendFallbacks:
     def test_observer_forces_engine_backend(self, framework):
         jobs = _jobs(framework, [(64, build_kpoint_pipeline)] * 4)

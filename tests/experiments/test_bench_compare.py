@@ -131,6 +131,99 @@ class TestCompareServingReports:
         also_forced = dict(_report([(16, 290.0)]), backend="engine")
         assert compare_serving_reports(forced, also_forced) == []
 
+    def test_mismatched_admission_policies_are_refused(self):
+        """Shed rates and post-shed latencies from one admission policy
+        are a different experiment from another's (or from no policy):
+        refused like mismatched forced backends."""
+        off = _report([(16, 1000.0)])
+        slo = dict(
+            _report([(16, 1000.0)]),
+            admission={"slo_p99": 2.0, "max_queue_depth": None, "mode": "shed"},
+        )
+        for committed, fresh in ((off, slo), (slo, off)):
+            failures = compare_serving_reports(committed, fresh)
+            assert failures and "admission" in failures[0]
+        # Two files under the same policy trend normally.
+        same = dict(
+            _report([(16, 990.0)]),
+            admission={"slo_p99": 2.0, "max_queue_depth": None, "mode": "shed"},
+        )
+        assert compare_serving_reports(slo, same) == []
+        # A different SLO is still a mismatch.
+        other = dict(
+            _report([(16, 990.0)]),
+            admission={"slo_p99": 9.0, "max_queue_depth": None, "mode": "shed"},
+        )
+        assert compare_serving_reports(slo, other)
+
+    @staticmethod
+    def _sweep(knee_lane, seed=0, batch_size=256, rates=(1.0, 2.0), knee_rate=None):
+        return {
+            "seed": seed,
+            "batch_size": batch_size,
+            "knee_rate_jobs_per_second": (
+                rates[-1] if knee_rate is None else knee_rate
+            ),
+            "knee_dominant_lane": knee_lane,
+            "points": [{"rate_jobs_per_second": rate} for rate in rates],
+        }
+
+    def test_knee_dominant_lane_change_fails(self):
+        committed = dict(_report([(16, 1000.0)]), arrival_sweep=self._sweep("ndp"))
+        fresh = dict(
+            _report([(16, 1000.0)]), arrival_sweep=self._sweep("link:cpu-ndp")
+        )
+        failures = compare_serving_reports(committed, fresh)
+        assert len(failures) == 1
+        assert "dominant lane" in failures[0]
+        assert "'ndp'" in failures[0] and "'link:cpu-ndp'" in failures[0]
+
+    def test_knee_lane_gate_requires_matching_sweeps(self):
+        """A different seed, batch size or rate grid is a different
+        experiment: the lane gate skips rather than fails."""
+        committed = dict(_report([(16, 1000.0)]), arrival_sweep=self._sweep("ndp"))
+        for other in (
+            self._sweep("cpu", seed=7),
+            self._sweep("cpu", batch_size=64),
+            self._sweep("cpu", rates=(1.0, 4.0)),
+            # A knee at a different rate is a different operating point:
+            # its dominant lane is legitimately allowed to differ.
+            self._sweep("cpu", knee_rate=1.0),
+        ):
+            fresh = dict(_report([(16, 1000.0)]), arrival_sweep=other)
+            assert compare_serving_reports(committed, fresh) == []
+
+    def test_knee_lane_gate_skips_missing_knees(self):
+        """No sweep, or a sweep that never kneed (lane None), cannot be
+        gated — older files and unsaturated sweeps still trend."""
+        with_knee = dict(_report([(16, 1000.0)]), arrival_sweep=self._sweep("ndp"))
+        no_sweep = _report([(16, 1000.0)])
+        no_knee = dict(_report([(16, 1000.0)]), arrival_sweep=self._sweep(None))
+        assert compare_serving_reports(with_knee, no_sweep) == []
+        assert compare_serving_reports(with_knee, no_knee) == []
+        assert compare_serving_reports(no_knee, with_knee) == []
+
+    def test_matching_knee_lane_passes(self):
+        committed = dict(_report([(16, 1000.0)]), arrival_sweep=self._sweep("ndp"))
+        fresh = dict(_report([(16, 990.0)]), arrival_sweep=self._sweep("ndp"))
+        assert compare_serving_reports(committed, fresh) == []
+
+    def test_knee_lane_gates_across_host_classes(self):
+        """Lane identity is virtual-time accounting: a host mismatch
+        does not suppress it (unlike absolute throughput)."""
+        meta_a = {"python": "3.11.7", "machine": "x86_64", "cpu_count": 1}
+        meta_b = {"python": "3.12.1", "machine": "x86_64", "cpu_count": 4}
+        committed = dict(
+            _report([(16, 1000.0)], metadata=meta_a),
+            arrival_sweep=self._sweep("ndp"),
+        )
+        fresh = dict(
+            _report([(16, 1000.0)], metadata=meta_b),
+            arrival_sweep=self._sweep("cpu"),
+        )
+        failures = compare_serving_reports(committed, fresh)
+        assert failures and "dominant lane" in failures[0]
+
     def test_p99_regression_beyond_tolerance_fails(self):
         committed = _report([(16, 1000.0)], arrivals=[(1.0, 2.0, 0)])
         fresh = _report([(16, 1000.0)], arrivals=[(1.5, 2.0, 0)])  # +50%

@@ -84,6 +84,79 @@ class TestArrivalSweep:
         assert find_saturation_knee(list(reversed(bent))) == 4.0
         assert find_saturation_knee([]) is None
 
+    def test_zero_baseline_does_not_knee_everything(self):
+        """Regression: a 0.0 p99 at the lowest rate (degenerate sweep)
+        made ``factor * baseline == 0``, so *every* later point with any
+        latency at all "kneed".  The baseline must instead advance to
+        the first positive p99."""
+        from repro.experiments.scale_serving import (
+            ArrivalSweepPoint,
+            find_saturation_knee,
+        )
+
+        def point(rate, p99):
+            return ArrivalSweepPoint(
+                rate=rate,
+                wall_seconds=0.0,
+                makespan=0.0,
+                p50_latency=p99 / 2,
+                p99_latency=p99,
+                mean_queueing_delay=0.0,
+            )
+
+        # Flat-after-zero: no knee (1.1 < 2x the 1.0 baseline).
+        flat = [point(1.0, 0.0), point(2.0, 1.0), point(3.0, 1.1)]
+        assert find_saturation_knee(flat) is None
+        # A real blow-up past the positive baseline still knees.
+        bent = [point(1.0, 0.0), point(2.0, 1.0), point(3.0, 2.5)]
+        assert find_saturation_knee(bent) == 3.0
+        # All-zero sweep: nothing to compare against, no knee.
+        zeros = [point(1.0, 0.0), point(2.0, 0.0)]
+        assert find_saturation_knee(zeros) is None
+
+    def test_sweep_points_record_lane_utilization_and_shed(self):
+        """Every sweep point carries the per-lane utilization (and its
+        dominant lane), plus the admission outcome — 0.0 shed when
+        admission is off."""
+        from repro.experiments.scale_serving import run_arrival_sweep
+
+        sweep = run_arrival_sweep(rates=(1.0, 30.0), batch_size=8, repeats=1)
+        for point in sweep.points:
+            assert set(point.lane_utilization) == {
+                "cpu",
+                "ndp",
+                "link:cpu-ndp",
+            }
+            assert point.shed_rate == 0.0
+            assert point.admitted == 8 and point.shed == 0
+            assert point.dominant_lane in point.lane_utilization
+        low, high = sweep.points
+        assert (
+            high.lane_utilization[high.dominant_lane]
+            > low.lane_utilization[low.dominant_lane]
+        )
+        assert sweep.knee_rate == 30.0
+        assert sweep.knee_dominant_lane == high.dominant_lane
+
+    def test_sweep_with_admission_sheds_and_caps_p99(self):
+        """Admission in the sweep: past the knee the shed rate is
+        positive and the post-shed p99 respects the SLO."""
+        from repro.core.arrivals import AdmissionPolicy
+        from repro.experiments.scale_serving import run_arrival_sweep
+
+        slo = 2.0
+        sweep = run_arrival_sweep(
+            rates=(30.0,),
+            batch_size=16,
+            repeats=1,
+            admission=AdmissionPolicy(slo_p99=slo),
+        )
+        (point,) = sweep.points
+        assert point.shed > 0
+        assert point.shed_rate > 0.0
+        assert point.admitted + point.shed == 16
+        assert point.p99_latency <= slo
+
     def test_sweep_finds_the_knee_past_capacity(self):
         """Offered load far beyond the mix's simulated capacity
         (~3.8 jobs/s) must blow up p99 latency; a low rate must not."""
@@ -220,6 +293,54 @@ class TestCli:
     def test_serve_bench_rejects_unknown_backend(self):
         with pytest.raises(SystemExit):
             main(["serve-bench", "--backend", "nonsense"])
+
+    def test_batch_admission_flags(self, capsys):
+        assert (
+            main(
+                [
+                    "batch",
+                    "--atoms", "64", "128", "512", "1024",
+                    "--arrival-rate", "50.0",
+                    "--slo-p99", "1.0",
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "admission (shed)" in out
+        assert "lane utilization" in out
+
+    def test_serve_bench_admission_flags(self, capsys, tmp_path):
+        import json
+
+        json_path = tmp_path / "BENCH_serving.json"
+        assert (
+            main(
+                [
+                    "serve-bench",
+                    "--batch-sizes", "4",
+                    "--repeats", "1",
+                    "--slo-p99", "2.0",
+                    "--admission-mode", "deprioritize",
+                    "--json", str(json_path),
+                ]
+            )
+            == 0
+        )
+        out = capsys.readouterr().out
+        assert "admission: deprioritize past slo_p99 2 s" in out
+        payload = json.loads(json_path.read_text())
+        assert payload["admission"] == {
+            "slo_p99": 2.0,
+            "max_queue_depth": None,
+            "mode": "deprioritize",
+        }
+        arrival = payload["points"][0]["arrival"]
+        assert "shed_rate" in arrival and "lane_utilization" in arrival
+
+    def test_admission_mode_validated(self):
+        with pytest.raises(SystemExit):
+            main(["serve-bench", "--admission-mode", "nonsense"])
 
     def test_all_excludes_serve_bench(self):
         from repro.cli import _COMMANDS, _EXCLUDED_FROM_ALL
