@@ -272,7 +272,10 @@ def main(argv: list[str] | None = None) -> int:
         "--batch-sizes",
         type=int,
         nargs="*",
-        help="serve-bench: batch sizes to sweep (default: 16 64 256 1024)",
+        help=(
+            "serve-bench: batch sizes to sweep "
+            "(default: 16 64 256 1024 4096 16384 65536)"
+        ),
     )
     parser.add_argument(
         "--no-cache",

@@ -13,33 +13,52 @@ scattered through the executor:
   the shard makespan and the super-job count, or ``None`` to decline a
   shard it only discovers to be ineligible while flattening it (e.g. a
   zero-duration task under a degenerate cost model).
-- Three backends ship registered, in selection-preference order:
+- Four backends ship registered, in fallback-preference order:
 
-  ===============  ====================================================
-  name             simulates
-  ===============  ====================================================
-  ``chain_replay``  all-single-chain shards via
-                    :func:`repro.hw.engine.replay_chain_batch` — one
-                    cursor per job, the leanest loop.
-  ``dag_replay``    any DAG shard via
-                    :func:`repro.hw.engine.replay_dag_batch` — per-
-                    replica join counters on fan-in stages, so k-point
-                    and other branching pipelines still get the
-                    one-event-per-occupancy replay.
-  ``engine``        anything, through the generator
-                    :class:`repro.hw.engine.Engine` — the universal
-                    fallback and the reference the replays are verified
-                    against.
-  ===============  ====================================================
+  =================  ==================================================
+  name               simulates
+  =================  ==================================================
+  ``chain_replay``   all-single-chain shards via
+                     :func:`repro.hw.engine.replay_chain_batch` — one
+                     cursor per job, the leanest event loop.
+  ``dag_replay``     any DAG shard via
+                     :func:`repro.hw.engine.replay_dag_batch` — per-
+                     replica join counters on fan-in stages, so k-point
+                     and other branching pipelines still get the
+                     one-event-per-occupancy replay.
+  ``vector_replay``  single-signature (fully coalesced) shards via
+                     :func:`repro.hw.vector_replay.replay_vector_batch`
+                     — the whole grant/finish timetable as numpy
+                     recurrences over the (replica, stage-occupancy)
+                     grid, no per-occupancy Python event at all.
+                     Declines cross-signature shards, zero durations
+                     and tie patterns that need the engine's banded
+                     hop cascade.
+  ``engine``         anything, through the generator
+                     :class:`repro.hw.engine.Engine` — the universal
+                     fallback and the reference the replays are
+                     verified against.
+  =================  ==================================================
 
-Selection walks the registry in order and takes the first backend that
-supports the shard and does not decline it; results are bit-identical
-whichever backend runs (property-tested in
-``tests/core/test_coalesce_shard.py`` and
-``tests/core/test_dag_replay.py``).  Any trace observer bypasses the
-registry entirely — trace consumers need the uncollapsed engine's exact
-event stream.  Additional backends (e.g. a C-accelerated calendar)
-plug in via :func:`register_backend`.
+The static walk takes the first backend that supports the shard and
+does not decline it; results are bit-identical whichever backend runs
+(property-tested in ``tests/core/test_coalesce_shard.py``,
+``tests/core/test_dag_replay.py`` and
+``tests/core/test_vector_replay.py``) — which is also why the
+framework's measured auto-tuner
+(:class:`repro.core.executor.BackendTuner`) may freely reorder the
+walk by observed wall time: ``vector_replay`` sits *after*
+``dag_replay`` in the static order, so it is reached by measurement
+(or by forcing), never by default on an unmeasured shard.  Any trace
+observer bypasses the registry entirely — trace consumers need the
+uncollapsed engine's exact event stream.  Additional backends (e.g. a
+C-accelerated calendar) plug in via :func:`register_backend`.
+
+Backends may also expose ``unsupported_reason(executor, shard_jobs)``
+returning a human-readable reason a shard cannot be simulated — the
+executor quotes it in the forced-backend error so callers learn *why*
+(non-chain shape, zero-duration task, cross-signature interleaving,
+...) instead of getting a bare refusal.
 """
 
 from __future__ import annotations
@@ -49,6 +68,7 @@ from typing import TYPE_CHECKING, Protocol, runtime_checkable
 
 from repro.errors import SimulationError
 from repro.hw.engine import replay_chain_batch, replay_dag_batch
+from repro.hw.vector_replay import replay_vector_batch
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard
     from repro.core.executor import ExecutionReport, PipelineExecutor
@@ -190,6 +210,14 @@ class EngineBackend:
         return reports, makespan, 0
 
 
+#: Why the slim replays decline degenerate shards — quoted verbatim in
+#: the forced-backend error (and matched by the UX tests).
+_ZERO_DURATION_REASON = (
+    "a task has non-positive duration, which the replays' banded "
+    "tie-handling cannot represent"
+)
+
+
 class ChainReplayBackend:
     """Slim FIFO replay for shards of single connected chains."""
 
@@ -210,6 +238,14 @@ class ChainReplayBackend:
             replay=replay_chain_batch,
             lane_log=lane_log,
         )
+
+    def unsupported_reason(self, executor, shard_jobs) -> str:
+        if not self.supports(executor, shard_jobs):
+            return (
+                "the shard contains a non-chain pipeline and "
+                "chain_replay only handles all-single-chain shards"
+            )
+        return _ZERO_DURATION_REASON
 
 
 class DagReplayBackend:
@@ -260,6 +296,84 @@ class DagReplayBackend:
             )
         return (stage_tasks, stage_preds), overhead_total
 
+    def unsupported_reason(self, executor, shard_jobs) -> str:
+        return _ZERO_DURATION_REASON
+
+
+class VectorReplayBackend:
+    """Numpy wave replay for single-signature coalesced shards.
+
+    When every job of a contention shard is a replica of *one*
+    super-job template, :func:`repro.hw.vector_replay.
+    replay_vector_batch` computes the entire FIFO timetable as
+    recurrences over the (replica, stage-occupancy) grid — no
+    per-occupancy Python event.  The backend supports exactly the
+    single-signature shards (two signatures sharing a lane interleave
+    in arrival order, which only the event-driven replays reproduce)
+    and declines late when the wave recurrence cannot prove it matches
+    the engine's grant order (zero durations, cross-wave or fan-in
+    same-instant ties): bit-identical or fall back, never approximate.
+    """
+
+    name = "vector_replay"
+
+    def supports(self, executor, shard_jobs) -> bool:
+        group_members, _ = _superjob_groups(shard_jobs)
+        return len(group_members) == 1
+
+    def simulate(self, executor, shard_jobs, shard_arrivals, lane_log):
+        if not self.supports(executor, shard_jobs):
+            return None
+        pipeline, schedule = shard_jobs[0]
+        resource_ids: dict[object, int] = {}
+        program, overhead_total = DagReplayBackend._dag_program(
+            executor, pipeline, schedule, resource_ids
+        )
+        if program is None:  # degenerate zero-duration task
+            return None
+        n = len(shard_jobs)
+        result = replay_vector_batch(
+            program,
+            [0.0] * n if shard_arrivals is None else shard_arrivals,
+            len(resource_ids),
+        )
+        if result is None:  # wave order unprovable: tie/interleaving
+            return None
+        finish, makespan, occupancy = result
+        from repro.core.executor import lane_name
+
+        for key, index in resource_ids.items():
+            if occupancy[index]:
+                lane_log.setdefault(lane_name(key), []).extend(
+                    occupancy[index]
+                )
+        template = executor._job_report(
+            pipeline, schedule, overhead_total, 0.0
+        )
+        reports = [replace(template, total_time=t) for t in finish]
+        return reports, makespan, 1
+
+    def unsupported_reason(self, executor, shard_jobs) -> str:
+        group_members, _ = _superjob_groups(shard_jobs)
+        if len(group_members) != 1:
+            return (
+                "cross-signature interleaving: the shard coalesces "
+                f"into {len(group_members)} super-jobs contending on "
+                "shared lanes, and vector_replay needs exactly one "
+                "signature"
+            )
+        pipeline, schedule = shard_jobs[0]
+        program, _overhead = DagReplayBackend._dag_program(
+            executor, pipeline, schedule, {}
+        )
+        if program is None:
+            return _ZERO_DURATION_REASON
+        return (
+            "a same-instant tie (across a wave boundary or a fan-in "
+            "join) requires the engine's banded hop cascade, which "
+            "the wave recurrence cannot reproduce"
+        )
+
 
 #: The registry, in selection-preference order.  ``engine`` must stay
 #: last: it is the universal fallback every selection walk ends on.
@@ -279,6 +393,7 @@ def register_backend(backend: SimulationBackend) -> None:
 
 register_backend(ChainReplayBackend())
 register_backend(DagReplayBackend())
+register_backend(VectorReplayBackend())
 register_backend(EngineBackend())
 
 

@@ -32,6 +32,7 @@ timing model.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from time import perf_counter
 from typing import Callable, Sequence
 
 import repro.core.backends as _backends
@@ -102,6 +103,28 @@ class ExecutionReport:
 
 
 @dataclass(frozen=True)
+class ShardTiming:
+    """Wall-clock accounting for one simulated contention shard.
+
+    ``backend`` is the registry name of the backend that actually timed
+    the shard; ``wall_seconds`` is host (not virtual) time spent
+    simulating it, measured around the whole backend walk including any
+    declined attempts.  The remaining fields are the shard features the
+    measured auto-tuner (:class:`BackendTuner`) buckets on and humans
+    debug with: job count, signature-coalesced super-job count (0 on
+    the uncollapsed engine path), total stage count across the shard's
+    distinct templates, and whether every job is a single chain.
+    """
+
+    backend: str
+    wall_seconds: float
+    n_jobs: int
+    n_superjobs: int
+    n_stages: int
+    is_chain: bool
+
+
+@dataclass(frozen=True)
 class BatchExecutionReport:
     """Result of executing a batch of jobs on one shared machine.
 
@@ -135,6 +158,10 @@ class BatchExecutionReport:
     lane_occupancy: dict[str, tuple[tuple[float, float], ...]] = field(
         default_factory=dict
     )
+    #: Per-shard wall time and shard features, in shard order — the raw
+    #: observability the measured auto-tuner and ``serve-bench``'s
+    #: per-backend breakdown read.
+    backend_timings: tuple[ShardTiming, ...] = ()
 
     @property
     def n_jobs(self) -> int:
@@ -202,6 +229,18 @@ class BatchExecutionReport:
         }
 
     @property
+    def backend_wall_seconds(self) -> dict[str, float]:
+        """Host wall seconds spent simulating, totalled per backend
+        over :attr:`backend_timings` — the per-backend breakdown the
+        serving benchmark reports per sweep point."""
+        totals: dict[str, float] = {}
+        for timing in self.backend_timings:
+            totals[timing.backend] = (
+                totals.get(timing.backend, 0.0) + timing.wall_seconds
+            )
+        return totals
+
+    @property
     def no_overlap_time(self) -> float:
         """The fully-serialized bound: every stage of every job back to
         back.  For branching jobs this exceeds what solo DES runs achieve
@@ -209,6 +248,121 @@ class BatchExecutionReport:
         :attr:`repro.core.framework.NdftBatchResult.serial_time` for the
         achievable one-job-at-a-time baseline."""
         return sum(report.serial_time for report in self.job_reports)
+
+
+class BackendTuner:
+    """Measured backend selection: a per-shard-size winner table.
+
+    Static preference order is a correctness fallback chain, not a
+    performance policy — it cannot know that a 16k-replica coalesced
+    shard belongs on ``vector_replay`` while a 2-job shard should stay
+    on the event replays.  Because every backend is bit-identical on
+    every shard it accepts, *routing is free to chase wall time*: the
+    tuner buckets shards by job-count magnitude
+    (``n_jobs.bit_length()``), accumulates observed wall seconds and
+    job counts per backend per bucket, and reorders each shard's
+    candidate walk:
+
+    - **explore** — the first non-engine candidate (static order) that
+      supports the shard but has no measurement in the bucket goes
+      first, so every eligible replay gets measured once per bucket;
+    - **exploit** — otherwise, measured candidates are tried in
+      ascending observed wall-seconds-per-job, unmeasured ones after
+      in static order.
+
+    The engine is never explored proactively (it is the guaranteed
+    fallback and the slowest path at scale), but engine runs that do
+    happen — forced, ``coalesce=False``, or decline fallbacks — are
+    recorded, so buckets where the engine genuinely wins (tiny shards,
+    where replay flattening dominates) route back to it.
+
+    The table is host-performance state, not simulation state: it
+    changes which backend runs, never what any backend returns.  The
+    framework persists it alongside the derivation caches
+    (:meth:`repro.core.framework.NdftFramework.save_caches`) so a
+    warmed service skips re-exploration.
+    """
+
+    def __init__(self) -> None:
+        #: bucket -> backend name -> [wall seconds total, jobs total].
+        self._samples: dict[int, dict[str, list[float]]] = {}
+
+    @staticmethod
+    def bucket(n_jobs: int) -> int:
+        """Shard-size bucket: job-count magnitude (1-2 jobs -> 1-2,
+        3-4 -> 3, ..., 32769-65536 -> 17)."""
+        return n_jobs.bit_length()
+
+    def record(
+        self, n_jobs: int, backend: str, wall_seconds: float
+    ) -> None:
+        """Fold one shard's measured wall time into its size bucket."""
+        cells = self._samples.setdefault(self.bucket(n_jobs), {})
+        cell = cells.get(backend)
+        if cell is None:
+            cells[backend] = [wall_seconds, float(n_jobs)]
+        else:
+            cell[0] += wall_seconds
+            cell[1] += n_jobs
+
+    def order(
+        self,
+        executor: "PipelineExecutor",
+        shard_jobs: list,
+        candidates: tuple,
+    ) -> tuple:
+        """Reorder one shard's backend walk (see class docs).  The walk
+        still checks ``supports``/declines downstream, so reordering
+        can never change *whether* a shard simulates — only which
+        bit-identical backend does the work."""
+        cells = self._samples.get(self.bucket(len(shard_jobs)), {})
+        for candidate in candidates:
+            if candidate.name == _ENGINE_BACKEND:
+                continue
+            if candidate.name in cells:
+                continue
+            if candidate.supports(executor, shard_jobs):
+                return (candidate,) + tuple(
+                    c for c in candidates if c is not candidate
+                )
+        measured = sorted(
+            (c for c in candidates if c.name in cells),
+            key=lambda c: cells[c.name][0] / cells[c.name][1],
+        )
+        unmeasured = [c for c in candidates if c.name not in cells]
+        return tuple(measured) + tuple(unmeasured)
+
+    def snapshot(self) -> list[tuple[int, str, float, float]]:
+        """The table as plain rows ``(bucket, backend, wall, jobs)`` —
+        what the framework's cache snapshot stores."""
+        return [
+            (bucket, name, cell[0], cell[1])
+            for bucket, cells in sorted(self._samples.items())
+            for name, cell in sorted(cells.items())
+        ]
+
+    def merge(self, rows) -> int:
+        """Fold snapshot rows into the table (adding to any live
+        measurements); returns the number of rows folded.  Rows naming
+        backends no longer registered are skipped — the fingerprint
+        scheme guards model drift, the registry guards its own."""
+        count = 0
+        registered = set(_backends.backend_names())
+        for bucket, name, wall, jobs in rows:
+            if name not in registered:
+                continue
+            cells = self._samples.setdefault(int(bucket), {})
+            cell = cells.get(name)
+            if cell is None:
+                cells[name] = [float(wall), float(jobs)]
+            else:
+                cell[0] += float(wall)
+                cell[1] += float(jobs)
+            count += 1
+        return count
+
+    def clear(self) -> None:
+        self._samples.clear()
 
 
 @dataclass
@@ -304,6 +458,7 @@ class PipelineExecutor:
         coalesce: bool = True,
         shard: bool = True,
         backend: str | None = None,
+        tuner: BackendTuner | None = None,
     ) -> BatchExecutionReport:
         """Execute every (pipeline, schedule) job concurrently on one
         shared set of devices.
@@ -330,10 +485,20 @@ class PipelineExecutor:
         ``backend`` names one registered backend to force for every
         shard (the serving benchmark's A/B switch); a forced backend
         that cannot simulate a shard raises :class:`SimulationError`
-        instead of silently falling back.  ``coalesce=False`` pins the
-        uncollapsed engine path, preserving the pre-backend semantics —
-        combining it with a forced non-engine backend (which coalesces
-        by construction) is a contradiction and raises too.
+        naming the reason instead of silently falling back.
+        ``coalesce=False`` pins the uncollapsed engine path, preserving
+        the pre-backend semantics — combining it with a forced
+        non-engine backend (which coalesces by construction) is a
+        contradiction and raises too.
+
+        ``tuner`` switches the per-shard backend walk from static
+        preference order to the :class:`BackendTuner`'s measured
+        ordering, and feeds each shard's wall time back into its
+        table.  Results are bit-identical either way (every backend
+        reproduces the engine's floats on every shard it accepts) —
+        only wall time moves.  Per-shard wall time and shard features
+        land in :attr:`BatchExecutionReport.backend_timings` whether or
+        not a tuner is supplied.
 
         Passing any ``observer`` forces the uncollapsed, unsharded DES:
         trace consumers see the exact event stream of one shared engine.
@@ -370,8 +535,21 @@ class PipelineExecutor:
                 lane_log.setdefault(lane, []).append((start, end))
                 _user(lane, label, start, end)
 
+            wall_start = perf_counter()
             job_reports, makespan = self._execute_batch_engine(
                 jobs, range(n), recording, arrivals
+            )
+            # Observed wall time includes the caller's observer work,
+            # so it is reported but never fed to a tuner.
+            timing = ShardTiming(
+                backend=_ENGINE_BACKEND,
+                wall_seconds=perf_counter() - wall_start,
+                n_jobs=n,
+                n_superjobs=0,
+                n_stages=self._shard_stage_count(jobs),
+                is_chain=all(
+                    self._is_single_chain(p) for p, _s in jobs
+                ),
             )
             return BatchExecutionReport(
                 job_reports=tuple(job_reports),
@@ -379,6 +557,7 @@ class PipelineExecutor:
                 arrivals=None if arrivals is None else tuple(arrivals),
                 backend_jobs={_ENGINE_BACKEND: n},
                 lane_occupancy=self._freeze_lanes(lane_log),
+                backend_timings=(timing,),
             )
 
         shards = (
@@ -388,14 +567,36 @@ class PipelineExecutor:
         makespan = 0.0
         n_superjobs = 0
         backend_jobs: dict[str, int] = {}
+        timings: list[ShardTiming] = []
         for indices in shards:
             shard_jobs = [jobs[i] for i in indices]
             shard_arrivals = (
                 None if arrivals is None else [arrivals[i] for i in indices]
             )
+            wall_start = perf_counter()
             chosen, shard_reports, shard_makespan, shard_groups = (
                 self._simulate_shard(
-                    shard_jobs, shard_arrivals, coalesce, forced, lane_log
+                    shard_jobs,
+                    shard_arrivals,
+                    coalesce,
+                    forced,
+                    lane_log,
+                    tuner,
+                )
+            )
+            wall_seconds = perf_counter() - wall_start
+            if tuner is not None:
+                tuner.record(len(indices), chosen, wall_seconds)
+            timings.append(
+                ShardTiming(
+                    backend=chosen,
+                    wall_seconds=wall_seconds,
+                    n_jobs=len(indices),
+                    n_superjobs=shard_groups,
+                    n_stages=self._shard_stage_count(shard_jobs),
+                    is_chain=all(
+                        self._is_single_chain(p) for p, _s in shard_jobs
+                    ),
                 )
             )
             n_superjobs += shard_groups
@@ -412,6 +613,7 @@ class PipelineExecutor:
             n_superjobs=n_superjobs,
             backend_jobs=backend_jobs,
             lane_occupancy=self._freeze_lanes(lane_log),
+            backend_timings=tuple(timings),
         )
 
     @staticmethod
@@ -419,6 +621,20 @@ class PipelineExecutor:
         lane_log: dict[str, list[tuple[float, float]]]
     ) -> dict[str, tuple[tuple[float, float], ...]]:
         return {lane: tuple(ivs) for lane, ivs in lane_log.items()}
+
+    @staticmethod
+    def _shard_stage_count(
+        shard_jobs: Sequence[tuple[Pipeline, Schedule]]
+    ) -> int:
+        """Total stages across the shard's *distinct* pipeline objects
+        (replicas coalesce by identity, so a 16k-replica super-job
+        counts its template once)."""
+        distinct = {
+            id(pipeline): pipeline for pipeline, _schedule in shard_jobs
+        }
+        return sum(
+            len(pipeline.stage_names) for pipeline in distinct.values()
+        )
 
     # ------------------------------------------------------------------
     # Batch internals: sharding, coalescing, the engine path
@@ -476,25 +692,32 @@ class PipelineExecutor:
         coalesce: bool,
         forced: "_backends.SimulationBackend | None",
         lane_log: dict[str, list[tuple[float, float]]],
+        tuner: BackendTuner | None = None,
     ) -> tuple[str, list[ExecutionReport], float, int]:
         """Time one contention shard through the backend layer.
 
         The default walk tries every registered backend in preference
-        order (chain replay, DAG replay, engine) and takes the first
-        that supports the shard and does not decline it; the engine
-        backend supports everything, so the walk always terminates.
-        ``coalesce=False`` pins the engine (the uncollapsed reference
-        semantics); ``forced`` pins one named backend and raises when
-        that backend cannot simulate the shard.  ``lane_log`` collects
-        the shard's per-lane occupancy intervals (shards touch disjoint
-        resource sets, so the per-shard entries never interleave).
-        Returns the chosen backend's name, the per-job reports in shard
-        order, the shard makespan, and the super-job count.
+        order (chain replay, DAG replay, vector replay, engine) and
+        takes the first that supports the shard and does not decline
+        it; the engine backend supports everything, so the walk always
+        terminates.  ``tuner`` reorders that walk by measured wall time
+        (see :class:`BackendTuner`) — legal because every backend is
+        bit-identical on every shard it accepts.  ``coalesce=False``
+        pins the engine (the uncollapsed reference semantics);
+        ``forced`` pins one named backend and raises — naming the
+        backend's reason — when it cannot simulate the shard.
+        ``lane_log`` collects the shard's per-lane occupancy intervals
+        (shards touch disjoint resource sets, so the per-shard entries
+        never interleave).  Returns the chosen backend's name, the
+        per-job reports in shard order, the shard makespan, and the
+        super-job count.
         """
         if forced is not None:
             candidates: tuple = (forced,)
         elif coalesce:
             candidates = _backends.iter_backends()
+            if tuner is not None:
+                candidates = tuner.order(self, shard_jobs, candidates)
         else:
             candidates = (_backends.get_backend(_ENGINE_BACKEND),)
         for candidate in candidates:
@@ -506,10 +729,17 @@ class PipelineExecutor:
             if result is not None:
                 reports, makespan, groups = result
                 return candidate.name, reports, makespan, groups
+        refused = candidates[-1]
+        describe = getattr(refused, "unsupported_reason", None)
+        reason = (
+            describe(self, shard_jobs)
+            if describe is not None
+            else "unsupported shape or zero-duration task"
+        )
         raise SimulationError(
-            f"backend {candidates[-1].name!r} cannot simulate a "
-            f"{len(shard_jobs)}-job shard (unsupported shape or "
-            "zero-duration task) and no fallback is allowed"
+            f"backend {refused.name!r} cannot simulate a "
+            f"{len(shard_jobs)}-job shard ({reason}) and no fallback "
+            "is allowed"
         )
 
     def _flatten_stage(

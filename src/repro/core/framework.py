@@ -60,6 +60,7 @@ from repro.core.arrivals import (
 from repro.core.backends import backend_names
 from repro.core.cost_model import OffloadCostModel, serial_links
 from repro.core.executor import (
+    BackendTuner,
     BatchExecutionReport,
     ExecutionReport,
     PipelineExecutor,
@@ -403,6 +404,13 @@ class NdftFramework:
         #: Jobs simulated per backend name across every ``run_many``
         #: call (see :attr:`backend_stats`).
         self._backend_jobs: dict[str, int] = {}
+        #: Host wall seconds spent simulating per backend name across
+        #: every ``run_many`` call (see :attr:`backend_stats`).
+        self._backend_wall: dict[str, float] = {}
+        #: Measured backend-selection table (persisted by the cache
+        #: snapshots): routes each contention shard to the backend with
+        #: the best observed wall-seconds-per-job in its size bucket.
+        self._backend_tuner = BackendTuner()
         self.host = CpuModel(self.system.host)
         self.ndp = NdpSystemModel(self.system.ndp)
         self.gpu = GpuModel(gpu_baseline_config()) if enable_gpu else None
@@ -474,13 +482,21 @@ class NdftFramework:
         return stats
 
     @property
-    def backend_stats(self) -> dict[str, int]:
-        """Jobs simulated per registered simulation backend across every
-        ``run_many`` call — the ``cache_stats``-style observability for
-        the executor's backend layer (:mod:`repro.core.backends`).
-        Every registered backend appears, zero-counted until used."""
-        stats = {name: 0 for name in backend_names()}
+    def backend_stats(self) -> dict[str, int | float]:
+        """Per-backend observability across every ``run_many`` call —
+        the ``cache_stats``-style counters for the executor's backend
+        layer (:mod:`repro.core.backends`): jobs simulated under each
+        registered backend's name, plus host wall seconds under
+        ``"<name>_wall_seconds"``.  Every registered backend appears,
+        zero-counted until used."""
+        stats: dict[str, int | float] = {
+            name: 0 for name in backend_names()
+        }
         stats.update(self._backend_jobs)
+        for name in backend_names():
+            stats[f"{name}_wall_seconds"] = self._backend_wall.get(
+                name, 0.0
+            )
         return stats
 
     # ------------------------------------------------------------------
@@ -514,6 +530,9 @@ class NdftFramework:
         self._signature_cache.clear()
         self._warm_start_index.clear()
         self._footprint_cache.clear()
+        # Backend wall-time measurements were taken against the old
+        # registry's shard shapes; re-explore rather than trust them.
+        self._backend_tuner.clear()
 
     # ------------------------------------------------------------------
     # Cache snapshots (serving deployments surviving process restarts)
@@ -592,6 +611,10 @@ class NdftFramework:
                 name: cache.items()
                 for name, cache in self._snapshot_caches().items()
             },
+            # Optional since its introduction: absent in older
+            # snapshots (skipped on load), ignored by older loaders —
+            # either direction stays compatible without a format bump.
+            "backend_tuner": self._backend_tuner.snapshot(),
         }
         path = Path(path)
         with path.open("wb") as handle:
@@ -663,6 +686,12 @@ class NdftFramework:
                     continue
                 cache.put(key, value)
                 loaded += 1
+        # Measured backend-selection rows ride the same soundness gate:
+        # wall-per-job measurements only transfer between equal
+        # fingerprints (same machine parameters => same shard shapes).
+        loaded += self._backend_tuner.merge(
+            payload.get("backend_tuner", ())
+        )
         return loaded
 
     def job_signature(self, pipeline: Pipeline) -> JobSignature:
@@ -742,9 +771,13 @@ class NdftFramework:
         ``coalesce``/``shard`` control the executor's scale-out fast
         path (signature-coalesced super-jobs, contention-sharded
         engines); ``backend`` forces one named simulation backend for
-        every shard (:mod:`repro.core.backends`; the default lets the
-        registry pick the fastest supporting one per shard).  Results
-        are bit-identical whichever backend simulates.
+        every shard (:mod:`repro.core.backends`; by default the
+        framework's measured :class:`~repro.core.executor.BackendTuner`
+        routes each shard to the backend with the best observed wall
+        time for its size bucket, exploring unmeasured ones first).
+        Results are bit-identical whichever backend simulates — every
+        run, forced or routed, also feeds its wall time back into the
+        tuner table.
 
         ``admission`` applies an SLO-driven
         :class:`~repro.core.arrivals.AdmissionPolicy` to the open queue
@@ -809,9 +842,14 @@ class NdftFramework:
             coalesce=coalesce,
             shard=shard,
             backend=backend,
+            tuner=self._backend_tuner,
         )
         for name, count in batch_report.backend_jobs.items():
             self._backend_jobs[name] = self._backend_jobs.get(name, 0) + count
+        for name, wall in batch_report.backend_wall_seconds.items():
+            self._backend_wall[name] = (
+                self._backend_wall.get(name, 0.0) + wall
+            )
         results = tuple(
             self._run_result(problem, pipeline, schedule, report)
             for (problem, pipeline, schedule, _s), report in zip(

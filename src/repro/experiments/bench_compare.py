@@ -35,6 +35,14 @@ turning into "the CXL link saturates first" is a modeling regression
 even when every latency still passes.  Lane utilization is virtual-time
 accounting, so this gate applies across host classes.
 
+Fields added by later PRs — the per-point ``backend_jobs``,
+``backend_wall_seconds`` and the extended batch axis — are *advisory*:
+comparisons run over the shared batch sizes only, every lookup is
+``dict.get``-based, and a committed baseline predating a field (or a
+point whose uncached comparison was skipped past
+``UNCACHED_COMPARE_MAX``, leaving ``wall_speedup`` ``null``) simply
+skips that gate rather than failing — absent is never a regression.
+
 Structural problems — a baseline-only (``--no-cache``) file, no shared
 batch sizes, or files measured under *different admission policies*
 (shed rates and post-shed latencies from one policy cannot be trended

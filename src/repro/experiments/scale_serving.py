@@ -7,12 +7,15 @@ factor is no longer the modeled hardware but the simulator itself — how
 many jobs per *wall-clock* second the scheduling + DES stack can turn
 around.  This driver measures exactly that:
 
-- sweep batch sizes (16 → 1024 by default) over a mixed job population
-  (a handful of distinct Si_N sizes, round-robin);
+- sweep batch sizes (16 → 65536 by default, ``--batch-sizes`` to
+  override) over a mixed job population (a handful of distinct Si_N
+  sizes, round-robin);
 - time ``run_many`` wall-clock with the serving fast path on (signature
   memoization + analytic solo runs) and, for comparison, with
   ``memoize=False`` — the "before" path that re-schedules, re-analyzes
-  and re-solo-times every job;
+  and re-solo-times every job (skipped above
+  :data:`UNCACHED_COMPARE_MAX` jobs, where the baseline would dominate
+  the sweep's wall clock);
 - cross-check that both paths produce *identical* batch results (same
   makespan, same solo times, same per-job reports) — the fast path is an
   optimization, never an approximation;
@@ -21,9 +24,11 @@ around.  This driver measures exactly that:
   record the p50/p99 completion latency and mean queueing delay — the
   serving-model metrics;
 - record the per-point simulation-backend breakdown (who actually timed
-  the batch — chain replay, DAG replay or the generator engine; see
-  :mod:`repro.core.backends`), with ``--backend`` forcing one backend
-  for every measurement (the replay-vs-engine A/B switch);
+  the batch — chain replay, DAG replay, wave replay or the generator
+  engine; see :mod:`repro.core.backends`) and the per-backend wall
+  seconds (``backend_wall_seconds`` — the signal the measured backend
+  auto-tuner routes on), with ``--backend`` forcing one backend for
+  every measurement (the replay-vs-engine A/B switch);
 - optionally sweep offered load (``--arrival-sweep``): the same mix at
   each rate of a grid, recording the latency-vs-load curve, per-point
   per-lane utilization (which device or wire the load saturates), the
@@ -54,8 +59,17 @@ from typing import Sequence
 from repro.core.arrivals import AdmissionPolicy, poisson_arrivals
 from repro.core.framework import NdftBatchResult, NdftFramework
 
-#: Default batch-size sweep (jobs per ``run_many`` call).
-DEFAULT_BATCH_SIZES = (16, 64, 256, 1024)
+#: Default batch-size sweep (jobs per ``run_many`` call).  The top end
+#: (65536) is two orders of magnitude past the pre-``vector_replay``
+#: practical ceiling (~1k): the wave-replay backend keeps the closed
+#: t=0 points tractable at fleet scale.
+DEFAULT_BATCH_SIZES = (16, 64, 256, 1024, 4096, 16384, 65536)
+#: Largest batch size whose memoization-free baseline is still measured
+#: for the cached-vs-uncached comparison.  The uncached path
+#: re-schedules and re-analyzes every job, so above this it would
+#: dominate the whole sweep's wall clock; larger points report
+#: ``wall_seconds_uncached``/``results_identical`` as ``None``.
+UNCACHED_COMPARE_MAX = 4096
 #: Default job-size mix: small interactive jobs alongside mid/large ones.
 DEFAULT_MIX = (64, 128, 512, 1024)
 #: Default offered load for the open-queue (arrival-process) point, in
@@ -224,6 +238,12 @@ class ServePoint:
     #: Jobs per simulation backend in the reference run — the
     #: per-backend breakdown of who actually timed the batch.
     backend_jobs: dict | None = None
+    #: Wall seconds per simulation backend in the reference run
+    #: (summed over shards; see
+    #: :attr:`repro.core.executor.BatchExecutionReport.backend_wall_seconds`)
+    #: — where the simulator's own time went, the signal the measured
+    #: backend auto-tuner routes on.
+    backend_wall_seconds: dict | None = None
 
     @property
     def jobs_per_second_cached(self) -> float:
@@ -447,6 +467,7 @@ class ServeBenchReport:
                     "simulated_throughput_jobs_per_second": p.simulated_throughput,
                     "results_identical": p.results_identical,
                     "backend_jobs": p.backend_jobs,
+                    "backend_wall_seconds": p.backend_wall_seconds,
                     "arrival": (
                         None if p.arrival is None else p.arrival.to_json_dict()
                     ),
@@ -521,7 +542,8 @@ def run_serve_bench(
         sizes = job_mix(batch_size, mix)
         n_distinct = len(set(sizes))
         uncached_wall = uncached_result = None
-        if not cached or compare_uncached:
+        compare_here = compare_uncached and batch_size <= UNCACHED_COMPARE_MAX
+        if not cached or compare_here:
             uncached_wall, uncached_result = measure_run_many(
                 sizes, memoize=False, repeats=repeats, backend=backend
             )
@@ -577,6 +599,9 @@ def run_serve_bench(
                 results_identical=identical,
                 arrival=arrival,
                 backend_jobs=dict(reference.batch_report.backend_jobs),
+                backend_wall_seconds=dict(
+                    reference.batch_report.backend_wall_seconds
+                ),
             )
         )
     arrival_sweep = None

@@ -71,6 +71,31 @@ class TestCompareServingReports:
         with pytest.raises(ValueError):
             compare_serving_reports(_report([]), _report([]), max_regression=1.0)
 
+    def test_absent_new_fields_are_not_regressions(self):
+        """A committed baseline written before the per-backend fields
+        existed (no ``backend_jobs``/``backend_wall_seconds``, no
+        ``wall_speedup``) must compare cleanly against a fresh report
+        that has them all — absent is advisory, never a failure."""
+        committed = _report([(16, 1000.0), (64, 2000.0)])
+        fresh = _report(
+            [(16, 900.0), (64, 1900.0)], speedups=[12.0, 20.0]
+        )
+        for point in fresh["points"]:
+            point["backend_jobs"] = {"vector_replay": point["batch_size"]}
+            point["backend_wall_seconds"] = {"vector_replay": 0.01}
+        assert compare_serving_reports(committed, fresh) == []
+        # Symmetric: trending a new-format committed file against a
+        # fresh one whose large points skipped the uncached baseline
+        # (wall_speedup null past UNCACHED_COMPARE_MAX) skips that gate.
+        committed = _report(
+            [(16384, 30000.0), (65536, 50000.0)], speedups=[8.0, 9.0]
+        )
+        fresh = _report([(16384, 29000.0), (65536, 48000.0)])
+        for point in fresh["points"]:
+            point["wall_speedup"] = None
+            point["backend_wall_seconds"] = None
+        assert compare_serving_reports(committed, fresh) == []
+
     def test_baseline_only_files_are_refused(self):
         """--no-cache output holds baseline numbers under the cached
         columns; trending against it would hide real regressions."""
