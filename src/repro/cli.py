@@ -17,6 +17,7 @@ Regenerates any of the paper's artifacts from a shell:
     python -m repro serve-bench --backend engine  # force one sim backend (A/B)
     python -m repro serve-bench --arrival-sweep   # latency-vs-load + knee
     python -m repro serve-bench --arrival-sweep --slo-p99 2.0  # ... shedding
+    python -m repro serve-bench --mtbf 10 --mttr 1 --fault-seed 7  # ... faults
     python -m repro all           # everything, in paper order
 
 ``serve-bench`` is excluded from ``all``: it measures wall-clock time of
@@ -51,6 +52,23 @@ def _admission_policy(args):
         slo_p99=args.slo_p99,
         max_queue_depth=args.max_queue_depth,
         mode=args.admission_mode,
+    )
+
+
+def _fault_plan(args):
+    """The seeded FaultPlan the --mtbf / --mttr / --fault-seed /
+    --fault-horizon / --fault-lanes flags describe, or ``None`` when
+    --mtbf was not given (faults off — the pre-fault behavior)."""
+    if args.mtbf is None:
+        return None
+    from repro.core.faults import poisson_fault_plan
+
+    return poisson_fault_plan(
+        lanes=args.fault_lanes,
+        mtbf=args.mtbf,
+        mttr=args.mttr,
+        horizon=args.fault_horizon,
+        seed=args.fault_seed,
     )
 
 
@@ -219,6 +237,7 @@ def _serve_bench(args, _framework) -> str:
         backend=args.backend,
         arrival_sweep_rates=arrival_sweep_rates,
         admission=_admission_policy(args),
+        faults=_fault_plan(args),
     )
     path = report.write_json(args.json) if args.json else report.write_json()
     return format_serve_bench(report, cached=cached) + f"\nwrote {path}"
@@ -359,6 +378,49 @@ def main(argv: list[str] | None = None) -> int:
             "serve-bench: force one simulation backend for every shard "
             "(default: the registry picks the fastest supporting one "
             "per shard) — the replay-vs-engine A/B switch"
+        ),
+    )
+    parser.add_argument(
+        "--mtbf",
+        type=float,
+        default=None,
+        help=(
+            "serve-bench fault injection: mean virtual seconds between "
+            "lane outages (off unless given; see repro.core.faults)"
+        ),
+    )
+    parser.add_argument(
+        "--mttr",
+        type=float,
+        default=1.0,
+        help=(
+            "serve-bench fault injection: mean outage duration in "
+            "virtual seconds (default 1.0)"
+        ),
+    )
+    parser.add_argument(
+        "--fault-seed",
+        type=int,
+        default=0,
+        help="seed for the fault plan's outage draw (default 0)",
+    )
+    parser.add_argument(
+        "--fault-horizon",
+        type=float,
+        default=60.0,
+        help=(
+            "virtual-time horizon the fault plan covers (default 60.0 "
+            "seconds; one plan is drawn once and applied to every "
+            "open-queue measurement)"
+        ),
+    )
+    parser.add_argument(
+        "--fault-lanes",
+        nargs="+",
+        default=["ndp"],
+        help=(
+            "lanes the fault plan draws outages over (default: ndp; "
+            "device lanes cpu/ndp/gpu or wire lanes like link:cpu-ndp)"
         ),
     )
     parser.add_argument(

@@ -25,6 +25,10 @@
 - :mod:`repro.core.arrivals` — arrival processes (seeded Poisson),
   latency percentiles and the SLO-driven admission policy
   (shed/deprioritize) for the open-queue serving model.
+- :mod:`repro.core.faults` — deterministic fault injection: seeded
+  lane-outage/permanent-failure plans, retry policies with exponential
+  backoff in virtual time, and the per-batch resilience report
+  (availability, goodput vs throughput, post-fault percentiles).
 - :mod:`repro.core.signature` / :mod:`repro.core.lru` — content-addressed
   job signatures and the bounded LRU caches they key.
 - :mod:`repro.core.framework` — the end-to-end NDFT driver (single jobs
@@ -44,6 +48,13 @@ from repro.core.backends import (
     backend_names,
     get_backend,
     register_backend,
+)
+from repro.core.faults import (
+    AttemptRecord,
+    FaultPlan,
+    ResilienceReport,
+    RetryPolicy,
+    poisson_fault_plan,
 )
 from repro.core.ir import CodeSegment, KernelFunction
 from repro.core.lru import LruCache
@@ -86,6 +97,11 @@ __all__ = [
     "backend_names",
     "get_backend",
     "register_backend",
+    "AttemptRecord",
+    "FaultPlan",
+    "ResilienceReport",
+    "RetryPolicy",
+    "poisson_fault_plan",
     "LruCache",
     "CodeSegment",
     "KernelFunction",

@@ -59,6 +59,15 @@ returning a human-readable reason a shard cannot be simulated — the
 executor quotes it in the forced-backend error so callers learn *why*
 (non-chain shape, zero-duration task, cross-signature interleaving,
 ...) instead of getting a bare refusal.
+
+Fault injection (:mod:`repro.core.faults`) extends the same contract:
+a shard whose lanes carry fault-plan events is declined by *every*
+replay backend with :data:`FAULTED_SHARD_REASON` — the replays model
+the healthy machine only, and the decline-not-approximate rule means
+they must never silently ignore an outage window.  Faulted shards
+always run on the fault-aware generator engine path; an *empty* fault
+plan never triggers the decline, so it stays bit-identical to no plan
+across all four backends.
 """
 
 from __future__ import annotations
@@ -215,6 +224,16 @@ class EngineBackend:
 _ZERO_DURATION_REASON = (
     "a task has non-positive duration, which the replays' banded "
     "tie-handling cannot represent"
+)
+
+#: Why every replay backend declines a shard whose lanes carry
+#: fault-plan events — quoted verbatim in the forced-backend error.
+#: The replays model the healthy machine; under the
+#: decline-not-approximate contract they must hand faulted shards to
+#: the fault-aware engine rather than silently ignore outage windows.
+FAULTED_SHARD_REASON = (
+    "the shard's lanes carry fault-plan events, which only the "
+    "fault-aware engine path can simulate"
 )
 
 

@@ -31,12 +31,14 @@ timing model.
 
 from __future__ import annotations
 
+import math
 from dataclasses import dataclass, field
 from time import perf_counter
 from typing import Callable, Sequence
 
 import repro.core.backends as _backends
 from repro.core.cost_model import OffloadCostModel
+from repro.core.faults import FaultPlan, RunFailure
 from repro.core.pipeline import Pipeline
 from repro.core.scheduler import Placement, Schedule
 from repro.errors import SimulationError
@@ -162,6 +164,11 @@ class BatchExecutionReport:
     #: observability the measured auto-tuner and ``serve-bench``'s
     #: per-backend breakdown read.
     backend_timings: tuple[ShardTiming, ...] = ()
+    #: Runs killed by fault-plan events (:class:`repro.core.faults.
+    #: RunFailure`), in deterministic fault-event order; always empty
+    #: without a fault plan.  A failed run's ``job_report`` entry covers
+    #: the truncated attempt (release to fail time).
+    failures: tuple = ()
 
     @property
     def n_jobs(self) -> int:
@@ -345,24 +352,61 @@ class BackendTuner:
         """Fold snapshot rows into the table (adding to any live
         measurements); returns the number of rows folded.  Rows naming
         backends no longer registered are skipped — the fingerprint
-        scheme guards model drift, the registry guards its own."""
+        scheme guards model drift, the registry guards its own.
+        Malformed rows are skipped too: a NaN, negative, or non-finite
+        wall-seconds entry (or a non-positive job count) from a corrupt
+        snapshot would otherwise poison the winner table forever, since
+        ``wall_per_job`` averages persist across sessions."""
         count = 0
         registered = set(_backends.backend_names())
-        for bucket, name, wall, jobs in rows:
+        for row in rows:
+            try:
+                bucket, name, wall, jobs = row
+                bucket = int(bucket)
+                wall = float(wall)
+                jobs = float(jobs)
+            except (TypeError, ValueError):
+                continue
             if name not in registered:
                 continue
-            cells = self._samples.setdefault(int(bucket), {})
+            if not (math.isfinite(wall) and wall >= 0.0):
+                continue
+            if not (math.isfinite(jobs) and jobs > 0.0):
+                continue
+            cells = self._samples.setdefault(bucket, {})
             cell = cells.get(name)
             if cell is None:
-                cells[name] = [float(wall), float(jobs)]
+                cells[name] = [wall, jobs]
             else:
-                cell[0] += float(wall)
-                cell[1] += float(jobs)
+                cell[0] += wall
+                cell[1] += jobs
             count += 1
         return count
 
     def clear(self) -> None:
         self._samples.clear()
+
+
+class _RunFaultState:
+    """Shared mutable fault flag for one simulated run.
+
+    Every stage process of a job holds the same instance; the first
+    fault that kills a task wins (deterministic: failures happen at
+    fault-event instants processed in engine order) and later stages
+    observe it and fall through."""
+
+    __slots__ = ("failed_at", "lane", "kind")
+
+    def __init__(self) -> None:
+        self.failed_at: float | None = None
+        self.lane: str | None = None
+        self.kind: str | None = None
+
+    def fail(self, time: float, lane: str, kind: str) -> None:
+        if self.failed_at is None:
+            self.failed_at = time
+            self.lane = lane
+            self.kind = kind
 
 
 @dataclass
@@ -459,6 +503,7 @@ class PipelineExecutor:
         shard: bool = True,
         backend: str | None = None,
         tuner: BackendTuner | None = None,
+        faults: "FaultPlan | None" = None,
     ) -> BatchExecutionReport:
         """Execute every (pipeline, schedule) job concurrently on one
         shared set of devices.
@@ -502,10 +547,22 @@ class PipelineExecutor:
 
         Passing any ``observer`` forces the uncollapsed, unsharded DES:
         trace consumers see the exact event stream of one shared engine.
+
+        ``faults`` injects a :class:`repro.core.faults.FaultPlan`: shards
+        whose lanes carry fault events run on the fault-aware engine path
+        (replay backends decline them —
+        :data:`repro.core.backends.FAULTED_SHARD_REASON`), runs killed by
+        an outage or permanent failure land in
+        :attr:`BatchExecutionReport.failures`, and unaffected shards take
+        the exact unmodified code path — an *empty* plan is bit-identical
+        to no plan for every backend.  Fault-shard wall times are never
+        fed to the tuner (the faulted workload is not the healthy one).
         """
         if not jobs:
             raise SimulationError("execute_many needs at least one job")
         n = len(jobs)
+        if faults is not None and faults.is_empty:
+            faults = None
         if arrivals is not None:
             arrivals = [float(offset) for offset in arrivals]
             if len(arrivals) != n:
@@ -536,8 +593,14 @@ class PipelineExecutor:
                 _user(lane, label, start, end)
 
             wall_start = perf_counter()
+            observer_failures: list = []
             job_reports, makespan = self._execute_batch_engine(
-                jobs, range(n), recording, arrivals
+                jobs,
+                range(n),
+                recording,
+                arrivals,
+                fault_plan=faults,
+                failures=observer_failures,
             )
             # Observed wall time includes the caller's observer work,
             # so it is reported but never fed to a tuner.
@@ -558,6 +621,7 @@ class PipelineExecutor:
                 backend_jobs={_ENGINE_BACKEND: n},
                 lane_occupancy=self._freeze_lanes(lane_log),
                 backend_timings=(timing,),
+                failures=tuple(observer_failures),
             )
 
         shards = (
@@ -568,24 +632,41 @@ class PipelineExecutor:
         n_superjobs = 0
         backend_jobs: dict[str, int] = {}
         timings: list[ShardTiming] = []
+        failures: list = []
         for indices in shards:
             shard_jobs = [jobs[i] for i in indices]
             shard_arrivals = (
                 None if arrivals is None else [arrivals[i] for i in indices]
             )
-            wall_start = perf_counter()
-            chosen, shard_reports, shard_makespan, shard_groups = (
-                self._simulate_shard(
-                    shard_jobs,
-                    shard_arrivals,
-                    coalesce,
-                    forced,
-                    lane_log,
-                    tuner,
-                )
+            faulted = faults is not None and faults.affects(
+                self._shard_lane_names(shard_jobs)
             )
+            wall_start = perf_counter()
+            if faulted:
+                chosen, shard_reports, shard_makespan, shard_groups = (
+                    self._simulate_faulted_shard(
+                        shard_jobs,
+                        indices,
+                        shard_arrivals,
+                        forced,
+                        lane_log,
+                        faults,
+                        failures,
+                    )
+                )
+            else:
+                chosen, shard_reports, shard_makespan, shard_groups = (
+                    self._simulate_shard(
+                        shard_jobs,
+                        shard_arrivals,
+                        coalesce,
+                        forced,
+                        lane_log,
+                        tuner,
+                    )
+                )
             wall_seconds = perf_counter() - wall_start
-            if tuner is not None:
+            if tuner is not None and not faulted:
                 tuner.record(len(indices), chosen, wall_seconds)
             timings.append(
                 ShardTiming(
@@ -614,7 +695,58 @@ class PipelineExecutor:
             backend_jobs=backend_jobs,
             lane_occupancy=self._freeze_lanes(lane_log),
             backend_timings=tuple(timings),
+            failures=tuple(failures),
         )
+
+    def _shard_lane_names(
+        self, shard_jobs: Sequence[tuple[Pipeline, Schedule]]
+    ) -> set[str]:
+        """All device/wire lane names the shard's schedules can occupy."""
+        lanes: set[str] = set()
+        for schedule in {
+            id(schedule): schedule for _pipeline, schedule in shard_jobs
+        }.values():
+            lanes.update(self.schedule_lanes(schedule))
+        return lanes
+
+    def _simulate_faulted_shard(
+        self,
+        shard_jobs: Sequence[tuple[Pipeline, Schedule]],
+        indices: Sequence[int],
+        shard_arrivals: Sequence[float] | None,
+        forced,
+        lane_log: dict[str, list[tuple[float, float]]],
+        faults: "FaultPlan",
+        failures: list,
+    ) -> tuple[str, list[ExecutionReport], float, int]:
+        """Simulate a shard whose lanes carry fault-plan events.
+
+        Only the fault-aware generator engine understands outage windows,
+        so every replay backend declines here — forcing one raises with
+        the named reason, mirroring :meth:`_simulate_shard`'s refusal
+        style.  Run failures are appended to ``failures`` keyed by the
+        *batch-global* submission index from ``indices``.
+        """
+        if forced is not None and forced.name != _ENGINE_BACKEND:
+            raise SimulationError(
+                f"backend {forced.name!r} cannot simulate a "
+                f"{len(shard_jobs)}-job shard "
+                f"({_backends.FAULTED_SHARD_REASON}) and no fallback "
+                "is allowed"
+            )
+
+        def record(lane, _label, start, end):
+            lane_log.setdefault(lane, []).append((start, end))
+
+        shard_reports, shard_makespan = self._execute_batch_engine(
+            shard_jobs,
+            list(indices),
+            record,
+            shard_arrivals,
+            fault_plan=faults,
+            failures=failures,
+        )
+        return _ENGINE_BACKEND, shard_reports, shard_makespan, 0
 
     @staticmethod
     def _freeze_lanes(
@@ -826,11 +958,22 @@ class PipelineExecutor:
         labels: Sequence[int],
         observer: TraceObserver | None,
         shard_arrivals: Sequence[float] | None,
+        fault_plan: "FaultPlan | None" = None,
+        failures: list | None = None,
     ) -> tuple[list[ExecutionReport], float]:
         """The uncollapsed path: every job of ``shard_jobs`` as stage
         processes on one shared engine (the pre-coalescing semantics,
         and the reference the fast paths are verified against).
-        ``labels`` carries the submission indices for trace prefixes."""
+        ``labels`` carries the submission indices for trace prefixes.
+
+        With a ``fault_plan``, each job gets a shared mutable fault
+        state: the first task of the job hit by an outage window or a
+        permanent lane death marks the whole job failed at that instant,
+        remaining stages fall through (holding nothing past their
+        current occupancy), and the run lands in ``failures`` under its
+        submission index from ``labels``.  ``fault_plan=None`` takes the
+        exact pre-fault generator — bit-identity with the replay
+        backends depends on it."""
         engine = Engine()
         devices = self._device_resources(
             engine, [schedule for _pipeline, schedule in shard_jobs]
@@ -844,6 +987,11 @@ class PipelineExecutor:
         # because value-equality would be as expensive as rebuilding.
         plans: dict[tuple[int, int], tuple] = {}
         spawned = []
+        states = (
+            None
+            if fault_plan is None
+            else [_RunFaultState() for _ in shard_jobs]
+        )
         for position, (pipeline, schedule) in enumerate(shard_jobs):
             plan_key = (id(pipeline), id(schedule))
             plan = plans.get(plan_key)
@@ -862,6 +1010,8 @@ class PipelineExecutor:
                     None if shard_arrivals is None
                     else shard_arrivals[position]
                 ),
+                fault_plan=fault_plan,
+                fault_state=None if states is None else states[position],
             )
             spawned.append((pipeline, schedule, processes, overhead_total))
         makespan = engine.run()
@@ -871,6 +1021,17 @@ class PipelineExecutor:
             )
             for pipeline, schedule, processes, overhead_total in spawned
         ]
+        if states is not None and failures is not None:
+            for position, state in enumerate(states):
+                if state.failed_at is not None:
+                    failures.append(
+                        RunFailure(
+                            job=labels[position],
+                            time=state.failed_at,
+                            lane=state.lane,
+                            kind=state.kind,
+                        )
+                    )
         return job_reports, makespan
 
     @staticmethod
@@ -946,6 +1107,8 @@ class PipelineExecutor:
         plan: tuple[dict[str, list[tuple[str, Resource, float]]], float],
         label_prefix: str = "",
         release: float | None = None,
+        fault_plan: FaultPlan | None = None,
+        fault_state: "_RunFaultState | None" = None,
     ) -> tuple[dict[str, SimProcess], float]:
         """Spawn one process per stage (in topological order, so every
         predecessor process exists before its dependents) and return the
@@ -953,7 +1116,12 @@ class PipelineExecutor:
         job's :meth:`_transfer_plan` (shareable between jobs that run
         the same pipeline/schedule objects in the same engine).
         ``release`` delays the job's entry stages to that arrival offset
-        (downstream stages inherit it through the predecessor waits)."""
+        (downstream stages inherit it through the predecessor waits).
+
+        ``fault_plan``/``fault_state`` switch to the fault-aware stage
+        generator.  The healthy generator below stays byte-for-byte what
+        it was before faults existed: the empty-plan bit-identity
+        contract requires the no-fault event stream to be untouched."""
         transfers, overhead_total = plan
 
         def stage_process(name: str, predecessors: list[SimProcess]):
@@ -980,13 +1148,99 @@ class PipelineExecutor:
                 )
             yield device.release()
 
+        def faulty_stage_process(name: str, predecessors: list[SimProcess]):
+            # Mirrors stage_process, but every occupancy runs through the
+            # fault plan, and once any stage of the job fails, the
+            # remaining stages fall through: they still pass their
+            # acquire/release pairs (so FIFO queues drain and nothing
+            # deadlocks) but occupy no time on the lane.
+            placement = schedule.assignments[name]
+            device = devices[placement]
+            duration = schedule.stage_times[name].total
+            if release is not None and not predecessors:
+                yield engine.timeout(release)
+            for predecessor in predecessors:
+                yield predecessor
+            for label, wire, cost in transfers[name]:
+                yield wire.acquire()
+                alive = fault_state.failed_at is None and (
+                    yield from self._occupy_faulted(
+                        engine,
+                        fault_plan,
+                        fault_state,
+                        wire.name,
+                        cost,
+                        observer,
+                        label_prefix + label,
+                    )
+                )
+                yield wire.release()
+                if not alive:
+                    return
+            yield device.acquire()
+            alive = fault_state.failed_at is None and (
+                yield from self._occupy_faulted(
+                    engine,
+                    fault_plan,
+                    fault_state,
+                    str(placement),
+                    duration,
+                    observer,
+                    label_prefix + name,
+                )
+            )
+            yield device.release()
+            if not alive:
+                return
+
+        factory = stage_process if fault_state is None else faulty_stage_process
         processes: dict[str, SimProcess] = {}
         for name in pipeline.topological_order:
             predecessors = [processes[p] for p in pipeline.predecessors(name)]
             processes[name] = engine.spawn(
-                stage_process(name, predecessors), name=label_prefix + name
+                factory(name, predecessors), name=label_prefix + name
             )
         return processes, overhead_total
+
+    @staticmethod
+    def _occupy_faulted(
+        engine: Engine,
+        fault_plan: FaultPlan,
+        fault_state: "_RunFaultState",
+        lane: str,
+        duration: float,
+        observer: TraceObserver | None,
+        label: str,
+    ):
+        """Occupy ``lane`` for ``duration`` under the fault plan.
+
+        The caller already holds the lane's resource.  A task granted
+        inside an outage window waits the window out (no failure); a
+        window starting mid-service — or the lane's permanent death —
+        kills the job at that instant and marks ``fault_state``.  Yields
+        engine commands; returns True when the occupancy completed,
+        False when the job failed (the caller releases and bails out).
+        """
+        grant = engine.now
+        service, fail_time, kind = fault_plan.resolve_service(
+            lane, grant, duration
+        )
+        if fail_time is None:
+            if service > grant:
+                yield engine.timeout(service - grant)
+            start = engine.now
+            yield engine.timeout(duration)
+            if observer is not None:
+                observer(lane, label, start, engine.now)
+            return True
+        if fail_time > grant:
+            yield engine.timeout(fail_time - grant)
+        if observer is not None and engine.now > service:
+            # The truncated occupancy [service, fail): real busy time the
+            # lane spent on work that was then thrown away.
+            observer(lane, label, service, engine.now)
+        fault_state.fail(engine.now, lane, kind)
+        return False
 
     @staticmethod
     def _check_overhead(overhead_total: float, schedule: Schedule) -> None:

@@ -1,0 +1,473 @@
+"""Deterministic fault injection and retry policies for the serving stack.
+
+A :class:`FaultPlan` describes *when lanes break* in virtual time:
+
+- **transient outages** — half-open windows ``[start, end)`` during which
+  a lane (a device lane such as ``"ndp"`` or a wire lane such as
+  ``"link:cpu-ndp"``) is unavailable.  A task granted the lane inside a
+  window waits the window out; a window that *starts* while a task is in
+  service kills the whole job at the window start (advance-knowledge,
+  preemption-free semantics — see
+  :func:`repro.hw.engine.resolve_faulty_service`).
+- **permanent failures** — a device lane dies at time ``t`` and never
+  comes back.  Jobs released after the death are re-placed through the
+  exact scheduling DP with the dead target excluded (graceful
+  degradation, e.g. NDP → CPU).
+
+Plans are plain data and deterministic: the same plan (or the same
+``seed`` via :func:`poisson_fault_plan`) always yields the same failure
+set, retry schedule, and final report.  An *empty* plan is contractually
+bit-identical to passing no plan at all — the executor never enters the
+fault-aware code path, so all four simulation backends keep producing
+the exact same floats.
+
+:class:`RetryPolicy` governs what happens after a failure: a failed job
+re-enters the open queue at ``fail_time + backoff(attempt)`` with
+exponential backoff in virtual time, up to ``max_attempts`` tries and an
+optional per-job timeout.  :class:`ResilienceReport` is the per-batch
+summary surfaced on ``NdftBatchResult.resilience``.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+
+from repro.errors import ConfigError
+from repro.hw.engine import resolve_faulty_service
+
+__all__ = [
+    "FaultPlan",
+    "RetryPolicy",
+    "RunFailure",
+    "AttemptRecord",
+    "ResilienceReport",
+    "poisson_fault_plan",
+]
+
+_WIRE_PREFIX = "link:"
+
+
+def _normalize_outages(
+    outages: tuple[tuple[str, float, float], ...],
+    dead: dict[str, float],
+) -> tuple[tuple[str, float, float], ...]:
+    """Sort, merge, and clamp transient windows per lane."""
+    by_lane: dict[str, list[tuple[float, float]]] = {}
+    for entry in outages:
+        try:
+            lane, start, end = entry
+        except (TypeError, ValueError) as exc:
+            raise ConfigError(
+                f"outage entries must be (lane, start, end) triples, got {entry!r}"
+            ) from exc
+        lane = str(lane)
+        start = float(start)
+        end = float(end)
+        if not (start >= 0.0 and end > start):
+            raise ConfigError(
+                f"outage window on lane {lane!r} must satisfy 0 <= start < end, "
+                f"got [{start}, {end})"
+            )
+        by_lane.setdefault(lane, []).append((start, end))
+    normalized: list[tuple[str, float, float]] = []
+    for lane in sorted(by_lane):
+        dead_at = dead.get(lane)
+        merged: list[list[float]] = []
+        for start, end in sorted(by_lane[lane]):
+            if dead_at is not None:
+                # Windows at or past the permanent death are redundant:
+                # the lane is already gone.
+                if start >= dead_at:
+                    continue
+                end = min(end, dead_at)
+                if end <= start:
+                    continue
+            if merged and start <= merged[-1][1]:
+                merged[-1][1] = max(merged[-1][1], end)
+            else:
+                merged.append([start, end])
+        normalized.extend((lane, start, end) for start, end in merged)
+    return tuple(normalized)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """A deterministic schedule of lane outages and permanent failures.
+
+    ``outages`` holds ``(lane, start, end)`` transient windows over device
+    or wire lanes; ``permanent`` holds ``(lane, dead_at)`` pairs over
+    *device* lanes only (a dead wire would partition the machine rather
+    than degrade it, so permanent wire failures are rejected).  Windows
+    are normalized on construction: sorted, merged per lane, and clamped
+    at the lane's permanent death time.  ``seed``/``mtbf``/``mttr``/
+    ``horizon`` are provenance metadata recorded by
+    :func:`poisson_fault_plan` and carried into benchmark descriptors.
+    """
+
+    outages: tuple[tuple[str, float, float], ...] = ()
+    permanent: tuple[tuple[str, float], ...] = ()
+    seed: int | None = None
+    mtbf: float | None = None
+    mttr: float | None = None
+    horizon: float | None = None
+
+    def __post_init__(self) -> None:
+        dead: dict[str, float] = {}
+        for entry in self.permanent:
+            try:
+                lane, dead_at = entry
+            except (TypeError, ValueError) as exc:
+                raise ConfigError(
+                    f"permanent entries must be (lane, dead_at) pairs, got {entry!r}"
+                ) from exc
+            lane = str(lane)
+            dead_at = float(dead_at)
+            if lane.startswith(_WIRE_PREFIX):
+                raise ConfigError(
+                    f"permanent failure on wire lane {lane!r} is not supported: "
+                    "a dead link partitions the machine instead of degrading it "
+                    "(use a transient outage window instead)"
+                )
+            if dead_at < 0.0:
+                raise ConfigError(
+                    f"permanent failure time for lane {lane!r} must be >= 0, "
+                    f"got {dead_at}"
+                )
+            if lane in dead:
+                dead_at = min(dead_at, dead[lane])
+            dead[lane] = dead_at
+        object.__setattr__(
+            self,
+            "permanent",
+            tuple(sorted(dead.items())),
+        )
+        object.__setattr__(
+            self,
+            "outages",
+            _normalize_outages(tuple(self.outages), dead),
+        )
+        windows: dict[str, list[tuple[float, float]]] = {}
+        for lane, start, end in self.outages:
+            windows.setdefault(lane, []).append((start, end))
+        object.__setattr__(
+            self,
+            "_windows",
+            {lane: tuple(spans) for lane, spans in windows.items()},
+        )
+        object.__setattr__(self, "_dead", dict(self.permanent))
+
+    # ------------------------------------------------------------------
+    # Queries
+    # ------------------------------------------------------------------
+    @property
+    def is_empty(self) -> bool:
+        """True when the plan carries no fault events at all."""
+        return not self.outages and not self.permanent
+
+    @property
+    def lanes(self) -> frozenset[str]:
+        """All lanes with at least one fault event."""
+        return frozenset(self._windows) | frozenset(self._dead)
+
+    def affects(self, lanes) -> bool:
+        """True when any of ``lanes`` carries a fault event."""
+        windows = self._windows
+        dead = self._dead
+        return any(lane in windows or lane in dead for lane in lanes)
+
+    def windows_for(self, lane: str) -> tuple[tuple[float, float], ...]:
+        return self._windows.get(lane, ())
+
+    def dead_lanes(self) -> dict[str, float]:
+        """Mapping of device lane -> permanent failure time."""
+        return dict(self._dead)
+
+    def event_times(self) -> tuple[float, ...]:
+        """Sorted distinct fault event times (window starts + deaths).
+
+        Job failures can only be triggered at these instants, which
+        bounds the retry fixpoint iteration in the framework.
+        """
+        times = {start for _lane, start, _end in self.outages}
+        times.update(self._dead.values())
+        return tuple(sorted(times))
+
+    def resolve_service(
+        self, lane: str, grant: float, duration: float
+    ) -> tuple[float, float | None, str | None]:
+        """Resolve a task on ``lane`` granted at ``grant`` for ``duration``.
+
+        Delegates to :func:`repro.hw.engine.resolve_faulty_service`;
+        returns ``(service_start, fail_time_or_None, kind)``.
+        """
+        return resolve_faulty_service(
+            self._windows.get(lane, ()), self._dead.get(lane), grant, duration
+        )
+
+    # ------------------------------------------------------------------
+    # Descriptors
+    # ------------------------------------------------------------------
+    def digest(self) -> str:
+        """Stable content hash of the normalized fault timeline."""
+        payload = repr((self.outages, self.permanent)).encode("utf-8")
+        return hashlib.sha256(payload).hexdigest()[:16]
+
+    def to_json_dict(self) -> dict:
+        """JSON-safe descriptor for benchmark reports.
+
+        Two plans compare equal through this descriptor iff their
+        normalized fault timelines match — ``bench_compare`` uses it to
+        refuse trending across mismatched plans.
+        """
+        return {
+            "seed": self.seed,
+            "mtbf": self.mtbf,
+            "mttr": self.mttr,
+            "horizon": self.horizon,
+            "lanes": sorted(self.lanes),
+            "n_outages": len(self.outages),
+            "n_permanent": len(self.permanent),
+            "digest": self.digest(),
+        }
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """What happens after a fault kills a job.
+
+    A failed job re-enters the open queue at
+    ``fail_time + backoff(attempt)`` where
+    ``backoff(k) = backoff_base * backoff_factor ** (k - 1)`` (exponential
+    backoff in *virtual* time), for up to ``max_attempts`` total attempts.
+    ``job_timeout`` (optional) abandons a job once its next attempt would
+    start more than ``job_timeout`` seconds after its original arrival.
+    ``backoff_base`` must be strictly positive: retries releasing strictly
+    after the failure that caused them is what makes the retry fixpoint
+    converge.
+    """
+
+    max_attempts: int = 3
+    backoff_base: float = 0.1
+    backoff_factor: float = 2.0
+    job_timeout: float | None = None
+
+    def __post_init__(self) -> None:
+        if int(self.max_attempts) != self.max_attempts or self.max_attempts < 1:
+            raise ConfigError(
+                f"max_attempts must be an integer >= 1, got {self.max_attempts!r}"
+            )
+        if not self.backoff_base > 0.0:
+            raise ConfigError(
+                f"backoff_base must be > 0 (retries must release strictly after "
+                f"the failure), got {self.backoff_base!r}"
+            )
+        if self.backoff_factor < 1.0:
+            raise ConfigError(
+                f"backoff_factor must be >= 1, got {self.backoff_factor!r}"
+            )
+        if self.job_timeout is not None and not self.job_timeout > 0.0:
+            raise ConfigError(
+                f"job_timeout must be > 0 or None, got {self.job_timeout!r}"
+            )
+
+    def backoff(self, attempt: int) -> float:
+        """Backoff delay after the ``attempt``-th (1-based) try failed."""
+        return self.backoff_base * self.backoff_factor ** (attempt - 1)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "max_attempts": self.max_attempts,
+            "backoff_base": self.backoff_base,
+            "backoff_factor": self.backoff_factor,
+            "job_timeout": self.job_timeout,
+        }
+
+
+@dataclass(frozen=True)
+class RunFailure:
+    """One simulated run killed by a fault event.
+
+    ``job`` is the run's position in the ``execute_many`` submission
+    list; ``time`` is the virtual fail time (a window start or the lane's
+    permanent death); ``kind`` is ``"outage"`` or ``"permanent"``.
+    """
+
+    job: int
+    time: float
+    lane: str
+    kind: str
+
+
+@dataclass(frozen=True)
+class AttemptRecord:
+    """One attempt of one job in a resilient batch."""
+
+    job_index: int
+    attempt: int
+    release: float
+    completed: bool
+    failure_time: float | None = None
+    failure_lane: str | None = None
+    failure_kind: str | None = None
+    degraded: bool = False
+
+
+@dataclass(frozen=True)
+class ResilienceReport:
+    """Per-batch resilience summary (``NdftBatchResult.resilience``).
+
+    ``attempts`` lists every simulated attempt of the final fixpoint
+    round; ``end_to_end_latencies`` maps each submitted job to its
+    original-arrival→final-completion latency (``None`` when abandoned);
+    ``busy_span`` covers *all* attempts of the final round, so
+    ``goodput`` (completed jobs over the span) is directly comparable to
+    ``throughput_all_attempts`` (work attempted over the same span).
+    """
+
+    plan: FaultPlan
+    retry: RetryPolicy
+    attempts: tuple[AttemptRecord, ...] = ()
+    submitted: int = 0
+    abandoned_jobs: tuple[int, ...] = ()
+    end_to_end_latencies: tuple[float | None, ...] = field(default=())
+    busy_span: float = 0.0
+
+    @property
+    def completed(self) -> int:
+        return self.submitted - len(self.abandoned_jobs)
+
+    @property
+    def abandoned(self) -> int:
+        return len(self.abandoned_jobs)
+
+    @property
+    def total_attempts(self) -> int:
+        return len(self.attempts)
+
+    @property
+    def failed_attempts(self) -> int:
+        return sum(1 for record in self.attempts if not record.completed)
+
+    @property
+    def recovered(self) -> int:
+        """Jobs that completed on a retry (attempt > 1)."""
+        return sum(
+            1 for record in self.attempts if record.completed and record.attempt > 1
+        )
+
+    @property
+    def degraded_attempts(self) -> int:
+        return sum(1 for record in self.attempts if record.degraded)
+
+    @property
+    def availability(self) -> float:
+        """Fraction of submitted jobs that eventually completed."""
+        if self.submitted == 0:
+            return 1.0
+        return self.completed / self.submitted
+
+    @property
+    def goodput(self) -> float:
+        """Completed jobs per second over the final round's busy span."""
+        if self.busy_span <= 0.0:
+            return 0.0
+        return self.completed / self.busy_span
+
+    @property
+    def throughput_all_attempts(self) -> float:
+        """All simulated attempts per second over the same busy span."""
+        if self.busy_span <= 0.0:
+            return 0.0
+        return self.total_attempts / self.busy_span
+
+    @property
+    def post_fault_latencies(self) -> tuple[float, ...]:
+        """End-to-end latencies of the jobs that completed."""
+        return tuple(
+            latency for latency in self.end_to_end_latencies if latency is not None
+        )
+
+    def _latency_percentile(self, q: float) -> float:
+        from repro.core.arrivals import percentile
+
+        latencies = self.post_fault_latencies
+        if not latencies:
+            return 0.0
+        return percentile(latencies, q)
+
+    @property
+    def post_fault_p50(self) -> float:
+        return self._latency_percentile(50.0)
+
+    @property
+    def post_fault_p99(self) -> float:
+        return self._latency_percentile(99.0)
+
+    def to_json_dict(self) -> dict:
+        return {
+            "submitted": self.submitted,
+            "completed": self.completed,
+            "recovered": self.recovered,
+            "abandoned": self.abandoned,
+            "failed_attempts": self.failed_attempts,
+            "total_attempts": self.total_attempts,
+            "degraded_attempts": self.degraded_attempts,
+            "availability": self.availability,
+            "goodput": self.goodput,
+            "throughput_all_attempts": self.throughput_all_attempts,
+            "post_fault_p50": self.post_fault_p50,
+            "post_fault_p99": self.post_fault_p99,
+        }
+
+
+def poisson_fault_plan(
+    lanes,
+    mtbf: float,
+    mttr: float,
+    horizon: float,
+    seed: int = 0,
+    permanent_after: float | None = None,
+) -> FaultPlan:
+    """Draw a seeded fault plan from exponential failure/repair clocks.
+
+    Per lane (in sorted order, so the draw is independent of input
+    ordering), outage starts arrive with mean spacing ``mtbf`` and last
+    ``Exp(mttr)`` each, truncated at ``horizon``.  ``permanent_after``
+    (optional) additionally kills each *device* lane permanently at its
+    first outage start past that time.  Deterministic given ``seed``.
+    """
+    if not mtbf > 0.0:
+        raise ConfigError(f"mtbf must be > 0, got {mtbf!r}")
+    if not mttr > 0.0:
+        raise ConfigError(f"mttr must be > 0, got {mttr!r}")
+    if not horizon > 0.0:
+        raise ConfigError(f"horizon must be > 0, got {horizon!r}")
+    generator = random.Random(seed)
+    outages: list[tuple[str, float, float]] = []
+    permanent: list[tuple[str, float]] = []
+    for lane in sorted(str(lane) for lane in lanes):
+        now = 0.0
+        while True:
+            now += generator.expovariate(1.0 / mtbf)
+            if now >= horizon:
+                break
+            if (
+                permanent_after is not None
+                and now >= permanent_after
+                and not lane.startswith(_WIRE_PREFIX)
+            ):
+                permanent.append((lane, now))
+                break
+            duration = generator.expovariate(1.0 / mttr)
+            outages.append((lane, now, now + duration))
+            now += duration
+    return FaultPlan(
+        outages=tuple(outages),
+        permanent=tuple(permanent),
+        seed=seed,
+        mtbf=mtbf,
+        mttr=mttr,
+        horizon=horizon,
+    )

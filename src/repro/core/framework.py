@@ -47,7 +47,7 @@ measurement and asserts the results are identical either way.
 from __future__ import annotations
 
 import pickle
-from dataclasses import dataclass
+from dataclasses import dataclass, replace
 from pathlib import Path
 from typing import Callable, Sequence
 
@@ -64,6 +64,12 @@ from repro.core.executor import (
     BatchExecutionReport,
     ExecutionReport,
     PipelineExecutor,
+)
+from repro.core.faults import (
+    AttemptRecord,
+    FaultPlan,
+    ResilienceReport,
+    RetryPolicy,
 )
 from repro.core.lru import LruCache
 from repro.core.pipeline import Pipeline, build_pipeline
@@ -212,6 +218,11 @@ class NdftBatchResult:
     #: The admission controller's record (``None`` when admission was
     #: not requested).
     admission: AdmissionResult | None = None
+    #: The resilience record under fault injection
+    #: (``run_many(..., faults=...)``): every attempt of the final
+    #: retry round, availability, goodput vs throughput, post-fault
+    #: latency percentiles.  ``None`` when no fault plan was passed.
+    resilience: ResilienceReport | None = None
 
     @property
     def n_jobs(self) -> int:
@@ -641,11 +652,20 @@ class NdftFramework:
         the format/fingerprint checks can reject it — loading executes
         whatever the file encodes, so only load snapshots written by a
         process you trust (the intended use: this service's own
-        :meth:`save_caches` output on local disk)."""
+        :meth:`save_caches` output on local disk).  A truncated or
+        corrupt file (half-written snapshot, disk error) raises
+        :class:`~repro.errors.ConfigError` like every other rejected
+        snapshot, never a raw ``EOFError``/``UnpicklingError``."""
         self._check_snapshot_registry("load")
         path = Path(path)
-        with path.open("rb") as handle:
-            payload = pickle.load(handle)
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except (EOFError, pickle.UnpicklingError, AttributeError) as exc:
+            raise ConfigError(
+                f"{path} is not a readable cache snapshot (truncated or "
+                f"corrupt pickle: {exc})"
+            ) from exc
         if (
             not isinstance(payload, dict)
             or payload.get("format") != self.CACHE_SNAPSHOT_FORMAT
@@ -746,6 +766,8 @@ class NdftFramework:
         shard: bool = True,
         backend: str | None = None,
         admission: AdmissionPolicy | None = None,
+        faults: FaultPlan | None = None,
+        retry: RetryPolicy | None = None,
     ) -> NdftBatchResult:
         """Schedule and execute a batch of heterogeneous jobs through one
         shared machine.
@@ -788,9 +810,27 @@ class NdftFramework:
         drain), and the result's :attr:`NdftBatchResult.admission`
         records every decision.  The plan is deterministic — the same
         arrivals and policy always shed the same set.
+
+        ``faults`` injects a deterministic
+        :class:`~repro.core.faults.FaultPlan`; ``retry`` (default
+        :class:`~repro.core.faults.RetryPolicy`) governs recovery: a job
+        killed by a lane outage re-enters the open queue at its
+        backoff-delayed release, and jobs whose base placement touches a
+        *permanently* dead lane are re-placed through the exact DP with
+        the dead target excluded (graceful degradation, e.g. NDP→CPU).
+        The result's ``jobs``/latency properties then cover the jobs
+        that eventually completed, and :attr:`NdftBatchResult.resilience`
+        records every attempt, availability, goodput vs throughput, and
+        post-fault latency percentiles.  An *empty* plan is bit-identical
+        to no plan across every backend.
         """
         if not batch:
             raise ValueError("run_many needs at least one job")
+        if retry is not None and faults is None:
+            raise ConfigError(
+                "retry= only makes sense under fault injection: pass "
+                "faults= (a FaultPlan) alongside it"
+            )
         builder = pipeline_builder or build_pipeline
         problems: dict[int, ProblemSize] = {}
         jobs: list[tuple[ProblemSize, Pipeline, Schedule, JobSignature | None]] = []
@@ -834,7 +874,27 @@ class NdftFramework:
                     ),
                     solo_times=(),
                     admission=admission_result,
+                    resilience=(
+                        None
+                        if faults is None
+                        else ResilienceReport(
+                            plan=faults, retry=retry or RetryPolicy()
+                        )
+                    ),
                 )
+
+        if faults is not None:
+            return self._run_resilient(
+                jobs,
+                arrivals,
+                solo_times,
+                faults,
+                retry or RetryPolicy(),
+                coalesce,
+                shard,
+                backend,
+                admission_result,
+            )
 
         batch_report = self.executor.execute_many(
             [(pipeline, schedule) for _p, pipeline, schedule, _s in jobs],
@@ -861,6 +921,240 @@ class NdftFramework:
             batch_report=batch_report,
             solo_times=solo_times,
             admission=admission_result,
+        )
+
+    def _run_resilient(
+        self,
+        jobs: list,
+        arrivals: Sequence[float] | None,
+        solo_times: tuple[float, ...],
+        faults: FaultPlan,
+        retry: RetryPolicy,
+        coalesce: bool,
+        shard: bool,
+        backend: str | None,
+        admission_result,
+    ) -> NdftBatchResult:
+        """The fault-injected serving loop: simulate, retry, re-place.
+
+        Runs rounds of the full shared-machine simulation to a fixpoint:
+        each round's *run list* is the base submission plus, for every
+        run the fault plan killed, its retry released at
+        ``fail_time + backoff(attempt)`` (while attempts and the per-job
+        timeout allow).  Because a retry always releases strictly after
+        the failure that caused it, and failures only happen at the
+        plan's fault-event instants, the run list stabilizes after at
+        most one round per (event, attempt) pair — the final round *is*
+        the consistent execution, and everything reported comes from it.
+
+        Runs released at-or-after a lane's permanent death whose base
+        placement touches the dead target are re-placed through the
+        exact DP with every dead-at-release target excluded
+        (:meth:`_schedule_for` with ``exclude=``), reusing the degraded
+        schedule across runs via the composite cache keys.
+        """
+        n = len(jobs)
+        releases0 = (
+            [0.0] * n if arrivals is None else [float(a) for a in arrivals]
+        )
+        dead_at: dict[Placement, float] = {}
+        for lane, death in faults.dead_lanes().items():
+            try:
+                placement = Placement(lane)
+            except ValueError as exc:
+                raise ConfigError(
+                    f"permanent failure on {lane!r} does not name a known "
+                    f"device lane"
+                ) from exc
+            dead_at[placement] = death
+
+        def resolve_run(job_index: int, release: float):
+            """The (schedule, exclusion, degraded?) for one run: dead-at-
+            release targets are excluded iff the base placement touches
+            one (a placement clear of every dead lane cannot suffer a
+            permanent failure, so re-solving would change nothing)."""
+            _problem, pipeline, base_schedule, signature = jobs[job_index]
+            excl = frozenset(
+                p for p, death in dead_at.items() if death <= release
+            )
+            if not excl or not (
+                excl & set(base_schedule.assignments.values())
+            ):
+                return base_schedule, frozenset(), False
+            degraded = self._schedule_for(pipeline, signature, exclude=excl)
+            return degraded, excl, True
+
+        base_runs = [(i, 1, releases0[i]) for i in range(n)]
+        runs = base_runs
+        max_rounds = (len(faults.event_times()) + 1) * retry.max_attempts + 2
+        report = None
+        run_meta: list = []
+        failed_runs: dict[int, object] = {}
+        for _round in range(max_rounds):
+            sim_jobs = []
+            run_meta = []
+            for job_index, _attempt, release in runs:
+                schedule, excl, degraded = resolve_run(job_index, release)
+                sim_jobs.append((jobs[job_index][1], schedule))
+                run_meta.append((schedule, excl, degraded))
+            # The base round of a closed batch must be the exact no-plan
+            # submission (arrivals=None, not explicit zeros): the empty-
+            # plan bit-identity contract covers the event stream, and a
+            # zero release still costs a timeout event.
+            sim_arrivals = (
+                None
+                if arrivals is None and runs == base_runs
+                else [release for _job, _attempt, release in runs]
+            )
+            report = self.executor.execute_many(
+                sim_jobs,
+                arrivals=sim_arrivals,
+                coalesce=coalesce,
+                shard=shard,
+                backend=backend,
+                tuner=self._backend_tuner,
+                faults=faults,
+            )
+            failed_runs = {failure.job: failure for failure in report.failures}
+            new_runs = list(base_runs)
+            for position, (job_index, attempt, _release) in enumerate(runs):
+                failure = failed_runs.get(position)
+                if failure is None:
+                    continue
+                next_attempt = attempt + 1
+                if next_attempt > retry.max_attempts:
+                    continue
+                next_release = failure.time + retry.backoff(attempt)
+                if (
+                    retry.job_timeout is not None
+                    and next_release - releases0[job_index]
+                    > retry.job_timeout
+                ):
+                    continue
+                new_runs.append((job_index, next_attempt, next_release))
+            if new_runs == runs:
+                break
+            runs = new_runs
+        else:  # pragma: no cover - the per-(event, attempt) bound holds
+            raise ConfigError(
+                "fault retry loop did not reach a fixpoint within "
+                f"{max_rounds} rounds"
+            )
+
+        for name, count in report.backend_jobs.items():
+            self._backend_jobs[name] = self._backend_jobs.get(name, 0) + count
+        for name, wall in report.backend_wall_seconds.items():
+            self._backend_wall[name] = self._backend_wall.get(name, 0.0) + wall
+
+        # Outcomes: each job has at most one non-failed run (its last
+        # attempt); every run of the converged round becomes an
+        # AttemptRecord.
+        completed: dict[int, int] = {}
+        records = []
+        for position, (job_index, attempt, release) in enumerate(runs):
+            failure = failed_runs.get(position)
+            _schedule, _excl, degraded = run_meta[position]
+            if failure is None:
+                completed[job_index] = position
+            records.append(
+                AttemptRecord(
+                    job_index=job_index,
+                    attempt=attempt,
+                    release=release,
+                    completed=failure is None,
+                    failure_time=None if failure is None else failure.time,
+                    failure_lane=None if failure is None else failure.lane,
+                    failure_kind=None if failure is None else failure.kind,
+                    degraded=degraded,
+                )
+            )
+        abandoned = tuple(
+            job_index for job_index in range(n) if job_index not in completed
+        )
+        end_to_end: list[float | None] = []
+        for job_index in range(n):
+            position = completed.get(job_index)
+            if position is None:
+                end_to_end.append(None)
+            else:
+                end_to_end.append(
+                    report.job_reports[position].total_time
+                    - releases0[job_index]
+                )
+        resilience = ResilienceReport(
+            plan=faults,
+            retry=retry,
+            attempts=tuple(records),
+            submitted=n,
+            abandoned_jobs=abandoned,
+            end_to_end_latencies=tuple(end_to_end),
+            busy_span=report.busy_span,
+        )
+
+        # The surfaced batch covers the jobs that completed, in
+        # submission order, with their *final-attempt* releases — the
+        # convention deprioritized admission set (latencies count from
+        # the release the simulation actually used; end-to-end latency
+        # from the original arrival lives on the resilience report).
+        kept = sorted(completed)
+        kept_reports = tuple(report.job_reports[completed[i]] for i in kept)
+        kept_releases = tuple(runs[completed[i]][2] for i in kept)
+        out_arrivals = (
+            None
+            if arrivals is None and runs == base_runs
+            else kept_releases
+        )
+        batch_report = BatchExecutionReport(
+            job_reports=kept_reports,
+            makespan=report.makespan,
+            arrivals=out_arrivals,
+            n_shards=report.n_shards,
+            n_superjobs=report.n_superjobs,
+            backend_jobs=report.backend_jobs,
+            lane_occupancy=report.lane_occupancy,
+            backend_timings=report.backend_timings,
+            failures=report.failures,
+        )
+        results = []
+        kept_solo = []
+        for job_index in kept:
+            position = completed[job_index]
+            problem, pipeline, _base_schedule, signature = jobs[job_index]
+            schedule, excl, degraded = run_meta[position]
+            if degraded:
+                excl_key = tuple(sorted(p.value for p in excl))
+                solo_key = (
+                    None if signature is None else (signature, excl_key)
+                )
+                solo = self._solo_report(
+                    pipeline, schedule, signature, cache_key=solo_key
+                ).total_time
+            else:
+                solo = solo_times[job_index]
+            kept_solo.append(solo)
+            results.append(
+                self._run_result(
+                    problem, pipeline, schedule, report.job_reports[position]
+                )
+            )
+        if admission_result is not None and abandoned:
+            # Abandoned jobs shift the surviving jobs' positions; the
+            # admitted-only percentile indices must follow them.
+            remap = {job_index: new for new, job_index in enumerate(kept)}
+            admission_result = replace(
+                admission_result,
+                counted_indices=tuple(
+                    remap[i]
+                    for i in admission_result.counted_indices
+                    if i in remap
+                ),
+            )
+        return NdftBatchResult(
+            jobs=tuple(results),
+            batch_report=batch_report,
+            solo_times=tuple(kept_solo),
+            admission=admission_result,
+            resilience=resilience,
         )
 
     def _admit(
@@ -951,23 +1245,42 @@ class NdftFramework:
         return pipeline
 
     def _schedule_for(
-        self, pipeline: Pipeline, signature: JobSignature | None
+        self,
+        pipeline: Pipeline,
+        signature: JobSignature | None,
+        exclude: frozenset[Placement] | None = None,
     ) -> Schedule:
+        """Schedule (or fetch the memoized schedule of) one job.
+
+        ``exclude`` is the degraded-placement path after a permanent
+        lane failure: the exact DP re-solves over the surviving targets,
+        and both the schedule cache and the warm-start index key the
+        exclusion set alongside the signature/structure — a degraded
+        schedule must never shadow (or be shadowed by) the healthy one.
+        """
+        excl = frozenset(exclude) if exclude else frozenset()
         if signature is None:
-            return self.scheduler.schedule(pipeline, self.policy)
-        schedule = self._schedule_cache.get(signature)
+            return self.scheduler.schedule(
+                pipeline, self.policy, exclude=excl or None
+            )
+        excl_key = tuple(sorted(p.value for p in excl))
+        cache_key = signature if not excl else (signature, excl_key)
+        schedule = self._schedule_cache.get(cache_key)
         if schedule is None:
             structure_key = None
             if self.policy is SchedulingPolicy.COST_AWARE:
                 structure_key = structure_signature(
                     pipeline, self.policy, self.scheduler, self.cost_model
                 )
+                if excl:
+                    structure_key = (structure_key, excl_key)
             schedule = self.scheduler.schedule(
                 pipeline,
                 self.policy,
                 warm_start=self._warm_start_hint(pipeline, structure_key),
+                exclude=excl or None,
             )
-            self._schedule_cache.put(signature, schedule)
+            self._schedule_cache.put(cache_key, schedule)
             self._remember_placement(pipeline, schedule, structure_key)
         return schedule
 
@@ -1028,14 +1341,21 @@ class NdftFramework:
         pipeline: Pipeline,
         schedule: Schedule,
         signature: JobSignature | None,
+        cache_key=None,
     ) -> ExecutionReport:
-        """The job's standalone (dedicated-machine) DES report."""
+        """The job's standalone (dedicated-machine) DES report.
+
+        ``cache_key`` overrides the cache key (default: the signature)
+        — the degraded-placement path keys solo reports by
+        ``(signature, exclusion)`` so they never collide with the
+        healthy schedule's numbers."""
         if signature is None:
             return self.executor.execute(pipeline, schedule)
-        report = self._solo_report_cache.get(signature)
+        key = signature if cache_key is None else cache_key
+        report = self._solo_report_cache.get(key)
         if report is None:
             report = self.executor.execute(pipeline, schedule)
-            self._solo_report_cache.put(signature, report)
+            self._solo_report_cache.put(key, report)
         return report
 
     def _sca_reports(self, pipeline: Pipeline) -> dict[str, ScaReport]:

@@ -228,6 +228,7 @@ class CostAwareScheduler:
         pipeline: Pipeline,
         policy: SchedulingPolicy = SchedulingPolicy.COST_AWARE,
         warm_start: dict[str, Placement] | None = None,
+        exclude: frozenset[Placement] | None = None,
     ) -> Schedule:
         """Place ``pipeline`` under ``policy``.
 
@@ -239,24 +240,46 @@ class CostAwareScheduler:
         removes an optimal (or tie-optimal) state, so the returned
         schedule is bit-identical to the cold search.  Other policies
         ignore the hint.
+
+        ``exclude`` removes targets from consideration without touching
+        the registry — the degraded-placement path after a permanent
+        lane failure (:mod:`repro.core.faults`): the DP re-solves
+        *exactly* over the surviving targets (e.g. NDP dead ⇒ the best
+        CPU/GPU placement).  Fixed policies whose target is excluded
+        raise :class:`SchedulingError`, as does excluding everything.
         """
+        excluded = frozenset(exclude) if exclude else frozenset()
+        targets = tuple(t for t in self.targets if t not in excluded)
+        if not targets:
+            raise SchedulingError(
+                "every registered target is excluded; nothing can host "
+                "the pipeline"
+            )
         if policy is SchedulingPolicy.ALL_CPU:
+            if Placement.CPU in excluded:
+                raise SchedulingError(
+                    "policy ALL_CPU cannot run with target 'cpu' excluded"
+                )
             assignment = {n: Placement.CPU for n in pipeline.stage_names}
             result = self.evaluate(pipeline, assignment)
         elif policy is SchedulingPolicy.ALL_NDP:
+            if Placement.NDP in excluded:
+                raise SchedulingError(
+                    "policy ALL_NDP cannot run with target 'ndp' excluded"
+                )
             assignment = {n: Placement.NDP for n in pipeline.stage_names}
             result = self.evaluate(pipeline, assignment)
         elif policy is SchedulingPolicy.NAIVE:
             assignment = {
                 name: min(
-                    self.targets,
+                    targets,
                     key=lambda t: self.stage_time(pipeline, name, t).total,
                 )
                 for name in pipeline.stage_names
             }
             result = self.evaluate(pipeline, assignment)
         elif policy is SchedulingPolicy.COST_AWARE:
-            result = self._dag_optimal(pipeline, warm_start)
+            result = self._dag_optimal(pipeline, warm_start, targets)
         else:  # pragma: no cover - exhaustive enum
             raise SchedulingError(f"unknown policy {policy}")
         return replace(result, policy=policy)
@@ -273,6 +296,7 @@ class CostAwareScheduler:
         self,
         pipeline: Pipeline,
         warm_start: dict[str, Placement] | None = None,
+        targets: tuple[Placement, ...] | None = None,
     ) -> Schedule:
         """Exact topological-order DP over placements.
 
@@ -294,9 +318,11 @@ class CostAwareScheduler:
         equal-to-optimal state's accumulated cost is bounded by its own
         final total, which pruning's slack keeps safe.
         """
+        if targets is None:
+            targets = self.targets
         bound = None
         if warm_start is not None:
-            bound = self._warm_start_bound(pipeline, warm_start)
+            bound = self._warm_start_bound(pipeline, warm_start, targets)
         order = pipeline.topological_order
         position = {name: i for i, name in enumerate(order)}
         last_use = {
@@ -306,7 +332,6 @@ class CostAwareScheduler:
             )
             for name in order
         }
-        targets = self.targets
 
         # state: tuple of (live stage, placement) pairs, sorted by name
         #   -> (accumulated cost, assignments so far)
@@ -347,16 +372,20 @@ class CostAwareScheduler:
         return self.evaluate(pipeline, best)
 
     def _warm_start_bound(
-        self, pipeline: Pipeline, warm_start: dict[str, Placement]
+        self,
+        pipeline: Pipeline,
+        warm_start: dict[str, Placement],
+        targets: tuple[Placement, ...] | None = None,
     ) -> float | None:
         """The pruning bound a warm-start hint buys, or ``None`` when the
         hint does not fit this pipeline (different stage names) or names
-        an unregistered target — a stale hint degrades to a cold search,
-        never an error."""
+        a target outside the allowed set (unregistered, or excluded by a
+        degraded search) — a stale hint degrades to a cold search, never
+        an error."""
         if set(warm_start) != set(pipeline.stage_names):
             return None
-        registered = set(self.targets)
-        if any(p not in registered for p in warm_start.values()):
+        allowed = set(self.targets if targets is None else targets)
+        if any(p not in allowed for p in warm_start.values()):
             return None
         total = self.evaluate(pipeline, warm_start).predicted_total
         return total * (1.0 + self.WARM_START_SLACK)

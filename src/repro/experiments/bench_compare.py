@@ -44,10 +44,12 @@ point whose uncached comparison was skipped past
 skips that gate rather than failing — absent is never a regression.
 
 Structural problems — a baseline-only (``--no-cache``) file, no shared
-batch sizes, or files measured under *different admission policies*
-(shed rates and post-shed latencies from one policy cannot be trended
-against another's, mirroring the forced-backend refusal) — are refused
-outright regardless of host metadata.  The comparison is deliberately
+batch sizes, or files measured under *different admission policies* or
+*different fault plans* (shed rates, post-shed latencies, availability
+and retry-inflated latencies from one regime cannot be trended against
+another's, mirroring the forced-backend refusal; a missing ``faults``
+key reads as faults-off) — are refused outright regardless of host
+metadata.  The comparison is deliberately
 coarse (default: 30 % regression, on best-of-N minima) and the verdict
 prints both files' host metadata.
 
@@ -151,6 +153,29 @@ def compare_serving_reports(
             "committed and fresh reports were measured under different "
             f"admission policies ({admission_committed or 'off'} vs "
             f"{admission_fresh or 'off'}) and cannot be trended against "
+            "each other"
+        ]
+    # Same refusal for fault injection: availability, goodput and
+    # post-fault latencies measured under one fault plan (or none) are a
+    # different experiment from another's — a retried batch is
+    # legitimately slower than a healthy one.  The descriptor carries
+    # the plan's seed/mtbf/mttr and a digest of its normalized fault
+    # timeline, so two explicit plans compare by content.  Files
+    # predating the field (no "faults" key) read as faults-off.
+    faults_committed = committed.get("faults")
+    faults_fresh = fresh.get("faults")
+    if faults_committed != faults_fresh:
+
+        def _plan_label(descriptor):
+            if not descriptor:
+                return "off"
+            digest = (descriptor.get("plan") or {}).get("digest")
+            return f"plan {digest}" if digest else "on"
+
+        return [
+            "committed and fresh reports were measured under different "
+            f"fault plans ({_plan_label(faults_committed)} vs "
+            f"{_plan_label(faults_fresh)}) and cannot be trended against "
             "each other"
         ]
     failures = []

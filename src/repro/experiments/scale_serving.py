@@ -57,6 +57,7 @@ from pathlib import Path
 from typing import Sequence
 
 from repro.core.arrivals import AdmissionPolicy, poisson_arrivals
+from repro.core.faults import FaultPlan, RetryPolicy
 from repro.core.framework import NdftBatchResult, NdftFramework
 
 #: Default batch-size sweep (jobs per ``run_many`` call).  The top end
@@ -129,6 +130,8 @@ def measure_run_many(
     arrivals: Sequence[float] | None = None,
     backend: str | None = None,
     admission: AdmissionPolicy | None = None,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
 ) -> tuple[float, NdftBatchResult]:
     """Best-of-``repeats`` wall-clock seconds for one cold ``run_many``.
 
@@ -136,9 +139,10 @@ def measure_run_many(
     minimum over repeats is the standard noise filter for wall-clock
     micro-measurements.  ``arrivals`` forwards release offsets (the
     open-queue serving mode), ``backend`` forces one simulation backend
-    (:mod:`repro.core.backends`) — the serve-bench A/B switch — and
+    (:mod:`repro.core.backends`) — the serve-bench A/B switch —
     ``admission`` applies an SLO-driven admission policy to the open
-    queue."""
+    queue, and ``faults``/``retry`` inject a deterministic fault plan
+    (:mod:`repro.core.faults`)."""
     if repeats < 1:
         raise ValueError(f"repeats must be >= 1, got {repeats}")
     best = float("inf")
@@ -151,6 +155,8 @@ def measure_run_many(
             arrivals=arrivals,
             backend=backend,
             admission=admission,
+            faults=faults,
+            retry=retry,
         )
         elapsed = time.perf_counter() - start
         best = min(best, elapsed)
@@ -174,6 +180,15 @@ def _shed_stats(result: NdftBatchResult) -> tuple[float, int, int]:
         return 0.0, result.n_jobs, 0
     report = result.admission
     return report.shed_rate, report.admitted, report.shed
+
+
+def _resilience_dict(result: NdftBatchResult) -> dict | None:
+    """The measurement's resilience summary (availability, goodput,
+    recovered/abandoned counts, post-fault percentiles), or ``None``
+    when no fault plan ran."""
+    if result.resilience is None:
+        return None
+    return result.resilience.to_json_dict()
 
 
 @dataclass(frozen=True)
@@ -202,6 +217,10 @@ class ArrivalPoint:
     shed_rate: float = 0.0
     admitted: int | None = None
     shed: int = 0
+    #: Resilience summary under fault injection (availability, goodput,
+    #: recovered/abandoned, post-fault percentiles); ``None`` when no
+    #: fault plan ran.
+    resilience: dict | None = None
 
     def to_json_dict(self) -> dict:
         return {
@@ -217,6 +236,7 @@ class ArrivalPoint:
             "shed_rate": self.shed_rate,
             "admitted": self.admitted,
             "shed": self.shed,
+            "resilience": self.resilience,
         }
 
 
@@ -281,6 +301,9 @@ class ArrivalSweepPoint:
     shed_rate: float = 0.0
     admitted: int | None = None
     shed: int = 0
+    #: Resilience summary under fault injection; ``None`` when no fault
+    #: plan ran.
+    resilience: dict | None = None
 
     @property
     def dominant_lane(self) -> str | None:
@@ -299,6 +322,7 @@ class ArrivalSweepPoint:
             "shed_rate": self.shed_rate,
             "admitted": self.admitted,
             "shed": self.shed,
+            "resilience": self.resilience,
         }
 
 
@@ -369,12 +393,16 @@ def run_arrival_sweep(
     memoize: bool = True,
     backend: str | None = None,
     admission: AdmissionPolicy | None = None,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
 ) -> ArrivalSweep:
     """Sweep offered load over ``rates``: the same ``batch_size``-job mix
     released by a seeded Poisson process at each rate, recording the
     latency-vs-load curve (with per-lane utilization and, under
     ``admission``, the shed rate per point) and the saturation knee
-    with its dominant lane."""
+    with its dominant lane.  ``faults``/``retry`` inject the same
+    deterministic fault plan at every rate (availability and goodput
+    land in each point's ``resilience`` record)."""
     if not rates:
         raise ValueError("arrival sweep needs at least one rate")
     if any(rate <= 0 for rate in rates):
@@ -390,6 +418,8 @@ def run_arrival_sweep(
             arrivals=offsets,
             backend=backend,
             admission=admission,
+            faults=faults,
+            retry=retry,
         )
         shed_rate, admitted, shed = _shed_stats(result)
         points.append(
@@ -404,6 +434,7 @@ def run_arrival_sweep(
                 shed_rate=shed_rate,
                 admitted=admitted,
                 shed=shed,
+                resilience=_resilience_dict(result),
             )
         )
     knee_rate = find_saturation_knee(points)
@@ -441,6 +472,11 @@ class ServeBenchReport:
     #: (``None`` = admission off; recorded so trend comparisons refuse
     #: mixing files measured under different policies).
     admission: AdmissionPolicy | None = None
+    #: Fault plan injected into every open-queue measurement (``None`` =
+    #: faults off; recorded — with its retry policy — so trend
+    #: comparisons refuse mixing files measured under different plans).
+    faults: FaultPlan | None = None
+    retry: RetryPolicy | None = None
 
     def to_json_dict(self) -> dict:
         return {
@@ -450,6 +486,14 @@ class ServeBenchReport:
             "backend": self.backend,
             "admission": (
                 None if self.admission is None else self.admission.to_json_dict()
+            ),
+            "faults": (
+                None
+                if self.faults is None
+                else {
+                    "plan": self.faults.to_json_dict(),
+                    "retry": (self.retry or RetryPolicy()).to_json_dict(),
+                }
             ),
             "metadata": host_metadata(),
             "mix": list(self.mix),
@@ -512,6 +556,8 @@ def run_serve_bench(
     backend: str | None = None,
     arrival_sweep_rates: Sequence[float] | None = None,
     admission: AdmissionPolicy | None = None,
+    faults: FaultPlan | None = None,
+    retry: RetryPolicy | None = None,
 ) -> ServeBenchReport:
     """Run the sweep.
 
@@ -536,6 +582,13 @@ def run_serve_bench(
     every open-queue measurement (the closed t=0 batches are never
     subject to admission) and is recorded in the report so trend
     comparisons can refuse mixed-policy files.
+
+    ``faults``/``retry`` inject a deterministic fault plan
+    (:mod:`repro.core.faults`) into every *open-queue* measurement —
+    like admission, the closed t=0 wall-clock points measure the
+    healthy fast path — and record availability/goodput per point plus
+    the plan descriptor at the report's top level, which
+    ``bench_compare`` uses to refuse cross-fault-plan trending.
     """
     points = []
     for batch_size in batch_sizes:
@@ -573,6 +626,8 @@ def run_serve_bench(
                 arrivals=offsets,
                 backend=backend,
                 admission=admission,
+                faults=faults,
+                retry=retry,
             )
             shed_rate, admitted, shed = _shed_stats(arrival_result)
             arrival = ArrivalPoint(
@@ -587,6 +642,7 @@ def run_serve_bench(
                 shed_rate=shed_rate,
                 admitted=admitted,
                 shed=shed,
+                resilience=_resilience_dict(arrival_result),
             )
         points.append(
             ServePoint(
@@ -614,6 +670,8 @@ def run_serve_bench(
             memoize=cached,
             backend=backend,
             admission=admission,
+            faults=faults,
+            retry=retry,
         )
     return ServeBenchReport(
         mix=tuple(mix),
@@ -623,6 +681,8 @@ def run_serve_bench(
         backend=backend,
         arrival_sweep=arrival_sweep,
         admission=admission,
+        faults=faults,
+        retry=retry,
     )
 
 
@@ -683,16 +743,38 @@ def format_serve_bench(report: ServeBenchReport, cached: bool = True) -> str:
             lines.append(
                 f"admission: {policy.mode} past {', '.join(criteria)}"
             )
+        if report.faults is not None:
+            plan = report.faults
+            retry = report.retry or RetryPolicy()
+            lines.append(
+                f"faults: {len(plan.outages)} outage window(s), "
+                f"{len(plan.permanent)} permanent failure(s) on "
+                f"{', '.join(sorted(plan.lanes)) or 'no lanes'} "
+                f"(seed {plan.seed}, digest {plan.digest()}); retry up to "
+                f"{retry.max_attempts} attempts, backoff "
+                f"{retry.backoff_base:g}s x{retry.backoff_factor:g}"
+            )
+        fault_cols = (
+            "" if report.faults is None else f" {'avail':>6s} {'goodput':>9s}"
+        )
         lines.append(
             f"{'batch':>6s} {'wall (s)':>10s} {'p50 lat (s)':>12s} "
             f"{'p99 lat (s)':>12s} {'queue delay':>12s} {'shed':>6s}"
+            + fault_cols
         )
         for p in arrivals:
             a = p.arrival
+            fault_cells = ""
+            if a.resilience is not None:
+                fault_cells = (
+                    f" {a.resilience['availability']:5.0%} "
+                    f"{a.resilience['goodput']:9.1f}"
+                )
             lines.append(
                 f"{p.batch_size:6d} {a.wall_seconds:10.4f} "
                 f"{a.p50_latency:12.4f} {a.p99_latency:12.4f} "
                 f"{a.mean_queueing_delay:12.4f} {a.shed_rate:5.0%}"
+                + fault_cells
             )
     sweep = report.arrival_sweep
     if sweep is not None:

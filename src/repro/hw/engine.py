@@ -860,3 +860,47 @@ def replay_dag_batch(
                             nxt.append((rs << 2) | _A_START)
             cur = nxt
     return completions, makespan, occupancy
+
+
+# ---------------------------------------------------------------------------
+# Fault-window service resolution (shared by repro.core.faults)
+# ---------------------------------------------------------------------------
+
+
+def resolve_faulty_service(
+    windows: tuple[tuple[float, float], ...],
+    dead_at: float | None,
+    grant: float,
+    duration: float,
+) -> tuple[float, float | None, str | None]:
+    """Resolve one task's service against a lane's fault timeline.
+
+    ``windows`` is the lane's transient-outage list, sorted by start,
+    non-overlapping, and already clamped at ``dead_at`` (the lane's
+    permanent failure time, or ``None`` if it never dies).  ``grant`` is
+    when the task was granted the lane and ``duration`` its service time.
+
+    The fault semantics are advance-knowledge and preemption-free: a task
+    granted *inside* an outage window waits the window out before
+    starting service (the lane is simply unavailable — no failure), while
+    a window that *starts* mid-service kills the job at the window start.
+    Returns ``(service_start, fail_time, kind)`` where ``fail_time`` is
+    ``None`` on success, and ``kind`` is ``"outage"`` or ``"permanent"``
+    when the task fails.  Occupancy for a failing task is
+    ``[service_start, fail_time)``; for a success it is
+    ``[service_start, service_start + duration)``.
+    """
+    service = grant
+    for start, end in windows:
+        if end <= service:
+            continue
+        if start <= service:
+            # Granted while the lane is down: wait out the window.
+            service = end
+        elif start < service + duration:
+            return service, start, "outage"
+        else:
+            break
+    if dead_at is not None and service + duration > dead_at:
+        return service, max(grant, dead_at), "permanent"
+    return service, None, None

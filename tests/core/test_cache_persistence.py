@@ -145,6 +145,28 @@ class TestFingerprintRefusal:
         with pytest.raises(ConfigError, match="format"):
             NdftFramework().load_caches(path)
 
+    def test_truncated_snapshot_refused(self, tmp_path):
+        """A half-written snapshot (crash or disk error mid-save) must
+        raise ConfigError naming the file, never a raw EOFError or
+        UnpicklingError."""
+        saver = NdftFramework()
+        saver.run_many([64, 128])
+        path = saver.save_caches(tmp_path / "caches.pkl")
+        blob = path.read_bytes()
+        for cut in (0, 1, len(blob) // 2, len(blob) - 1):
+            truncated = tmp_path / f"truncated_{cut}.pkl"
+            truncated.write_bytes(blob[:cut])
+            with pytest.raises(ConfigError, match="truncated or corrupt"):
+                NdftFramework().load_caches(truncated)
+
+    def test_corrupt_snapshot_refused(self, tmp_path):
+        """Arbitrary bytes that are not a pickle stream at all are
+        rejected the same way."""
+        path = tmp_path / "noise.pkl"
+        path.write_bytes(b"\x00\xffnot a pickle stream")
+        with pytest.raises(ConfigError, match="truncated or corrupt"):
+            NdftFramework().load_caches(path)
+
     def test_fingerprints_equal_across_fresh_frameworks(self):
         assert (
             NdftFramework().cache_fingerprint()

@@ -378,6 +378,40 @@ class TestBackendTuner:
         other.clear()
         assert other.snapshot() == []
 
+    def test_merge_skips_malformed_rows(self):
+        """A corrupt snapshot row (NaN/negative/infinite wall, zero or
+        negative job count, wrong arity, non-numeric fields) is skipped
+        instead of poisoning the persistent winner table."""
+        import math
+
+        bad_rows = [
+            (5, "vector_replay", math.nan, 32.0),
+            (5, "vector_replay", -1.0, 32.0),
+            (5, "vector_replay", math.inf, 32.0),
+            (5, "vector_replay", 1.0, 0.0),
+            (5, "vector_replay", 1.0, -4.0),
+            (5, "vector_replay", 1.0, math.nan),
+            (5, "vector_replay", 1.0),  # wrong arity
+            (5, "vector_replay", "fast", 32.0),  # non-numeric wall
+            ("bucket", "vector_replay", 1.0, 32.0),  # non-numeric bucket
+            (5, "retired_backend", 1.0, 32.0),  # unregistered name
+        ]
+        tuner = BackendTuner()
+        assert tuner.merge(bad_rows) == 0
+        assert tuner.snapshot() == []
+        # Valid rows interleaved with garbage still fold, and a
+        # zero-wall row (timer resolution) remains legal.
+        mixed = [
+            (5, "vector_replay", 1.0, 32.0),
+            (5, "vector_replay", math.nan, 32.0),
+            (5, "chain_replay", 0.0, 16.0),
+        ]
+        assert tuner.merge(mixed) == 2
+        assert tuner.snapshot() == [
+            (5, "chain_replay", 0.0, 16.0),
+            (5, "vector_replay", 1.0, 32.0),
+        ]
+
     def test_framework_persists_tuner_across_save_load(self, tmp_path):
         first = NdftFramework()
         first.run_many([64, 128, 512])

@@ -181,6 +181,37 @@ class TestCompareServingReports:
         )
         assert compare_serving_reports(slo, other)
 
+    def test_mismatched_fault_plans_are_refused(self):
+        """Availability, goodput and retry-inflated latencies under one
+        fault plan cannot be trended against a healthy run (or a run
+        under a different plan) — refused like mismatched admission.
+        A file predating the field (no "faults" key) reads as off."""
+
+        def _faulted(jps, digest):
+            return dict(
+                _report([(16, jps)]),
+                faults={
+                    "plan": {"seed": 7, "digest": digest},
+                    "retry": {"max_attempts": 3},
+                },
+            )
+
+        healthy = _report([(16, 1000.0)])
+        faulted = _faulted(500.0, "abc123")
+        for committed, fresh in ((healthy, faulted), (faulted, healthy)):
+            failures = compare_serving_reports(committed, fresh)
+            assert failures and "fault plans" in failures[0]
+            assert "cannot be trended" in failures[0]
+        # The refusal names the plans compactly by digest.
+        assert "plan abc123" in compare_serving_reports(healthy, faulted)[0]
+        # Two files under the identical plan trend normally; a
+        # different plan is still a mismatch.
+        assert compare_serving_reports(faulted, _faulted(450.0, "abc123")) == []
+        assert compare_serving_reports(faulted, _faulted(500.0, "def456"))
+        # Legacy files without the key trend against explicit faults-off.
+        explicit_off = dict(_report([(16, 990.0)]), faults=None)
+        assert compare_serving_reports(healthy, explicit_off) == []
+
     @staticmethod
     def _sweep(knee_lane, seed=0, batch_size=256, rates=(1.0, 2.0), knee_rate=None):
         return {
