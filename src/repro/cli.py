@@ -18,6 +18,7 @@ Regenerates any of the paper's artifacts from a shell:
     python -m repro serve-bench --arrival-sweep   # latency-vs-load + knee
     python -m repro serve-bench --arrival-sweep --slo-p99 2.0  # ... shedding
     python -m repro serve-bench --mtbf 10 --mttr 1 --fault-seed 7  # ... faults
+    python -m repro serve-bench --shock-rate 0.1 --slowdown-factor 2 --checkpoint
     python -m repro all           # everything, in paper order
 
 ``serve-bench`` is excluded from ``all``: it measures wall-clock time of
@@ -55,21 +56,94 @@ def _admission_policy(args):
     )
 
 
-def _fault_plan(args):
-    """The seeded FaultPlan the --mtbf / --mttr / --fault-seed /
-    --fault-horizon / --fault-lanes flags describe, or ``None`` when
-    --mtbf was not given (faults off — the pre-fault behavior)."""
-    if args.mtbf is None:
-        return None
-    from repro.core.faults import poisson_fault_plan
+def _check_fault_lanes(lanes, framework, flag: str) -> None:
+    """Reject lane names the configured system does not expose: a fault
+    window on an unknown lane silently never fires, which reads as a
+    suspiciously-perfect availability number."""
+    from repro.errors import ConfigError
 
-    return poisson_fault_plan(
-        lanes=args.fault_lanes,
-        mtbf=args.mtbf,
-        mttr=args.mttr,
-        horizon=args.fault_horizon,
-        seed=args.fault_seed,
+    valid = framework.fault_lanes()
+    for lane in lanes:
+        if lane not in valid:
+            raise ConfigError(
+                f"{flag}: unknown lane {lane!r}; this system exposes "
+                f"{list(valid)}"
+            )
+
+
+def _fault_setup(args, framework):
+    """The (FaultPlan, RetryPolicy) pair the fault flags describe.
+
+    Three independent seeded processes compose via
+    :meth:`FaultPlan.merge`: per-lane Poisson outages (``--mtbf``),
+    correlated group shocks (``--shock-rate``/``--shock-groups``), and
+    non-lethal slowdowns (``--slowdown-factor``, drawn at the outage
+    MTBF — default 10.0 when --mtbf is off — under ``seed + 1`` so the
+    windows decorrelate from the outage draw).  Returns ``(None, None)``
+    when no fault flag was given (faults off — the pre-fault behavior).
+    """
+    from repro.core.faults import (
+        RetryPolicy,
+        poisson_fault_plan,
+        shock_fault_plan,
+        slowdown_fault_plan,
     )
+    from repro.errors import ConfigError
+
+    plan = None
+
+    def compose(part):
+        return part if plan is None else plan.merge(part)
+
+    if args.mtbf is not None or args.slowdown_factor is not None:
+        _check_fault_lanes(args.fault_lanes, framework, "--fault-lanes")
+    if args.mtbf is not None:
+        plan = compose(
+            poisson_fault_plan(
+                lanes=args.fault_lanes,
+                mtbf=args.mtbf,
+                mttr=args.mttr,
+                horizon=args.fault_horizon,
+                seed=args.fault_seed,
+            )
+        )
+    if args.shock_rate is not None:
+        groups = (
+            [tuple(spec.split(",")) for spec in args.shock_groups]
+            if args.shock_groups
+            else [framework.fault_lanes()]
+        )
+        for group in groups:
+            _check_fault_lanes(group, framework, "--shock-groups")
+        plan = compose(
+            shock_fault_plan(
+                groups=groups,
+                rate=args.shock_rate,
+                mttr=args.mttr,
+                horizon=args.fault_horizon,
+                seed=args.fault_seed,
+            )
+        )
+    if args.slowdown_factor is not None:
+        plan = compose(
+            slowdown_fault_plan(
+                lanes=args.fault_lanes,
+                mtbf=args.mtbf if args.mtbf is not None else 10.0,
+                mttr=args.mttr,
+                horizon=args.fault_horizon,
+                factor=args.slowdown_factor,
+                seed=args.fault_seed + 1,
+            )
+        )
+    if plan is None:
+        if args.checkpoint:
+            raise ConfigError(
+                "--checkpoint needs fault injection: pass --mtbf, "
+                "--shock-rate or --slowdown-factor alongside it"
+            )
+        return None, None
+    retry = RetryPolicy(checkpoint=True) if args.checkpoint else None
+    return plan, retry
 
 
 def _fig4(_args, _framework) -> str:
@@ -204,7 +278,7 @@ def _batch(args, framework) -> str:
     )
 
 
-def _serve_bench(args, _framework) -> str:
+def _serve_bench(args, framework) -> str:
     from repro.experiments.scale_serving import (
         DEFAULT_ARRIVAL_RATE,
         DEFAULT_BATCH_SIZES,
@@ -227,6 +301,7 @@ def _serve_bench(args, _framework) -> str:
         arrival_sweep_rates = (
             tuple(args.arrival_sweep) if args.arrival_sweep else DEFAULT_SWEEP_RATES
         )
+    faults, retry = _fault_setup(args, framework)
     report = run_serve_bench(
         batch_sizes=batch_sizes,
         mix=mix,
@@ -237,7 +312,8 @@ def _serve_bench(args, _framework) -> str:
         backend=args.backend,
         arrival_sweep_rates=arrival_sweep_rates,
         admission=_admission_policy(args),
-        faults=_fault_plan(args),
+        faults=faults,
+        retry=retry,
     )
     path = report.write_json(args.json) if args.json else report.write_json()
     return format_serve_bench(report, cached=cached) + f"\nwrote {path}"
@@ -420,7 +496,47 @@ def main(argv: list[str] | None = None) -> int:
         default=["ndp"],
         help=(
             "lanes the fault plan draws outages over (default: ndp; "
-            "device lanes cpu/ndp/gpu or wire lanes like link:cpu-ndp)"
+            "device lanes cpu/ndp/gpu or wire lanes like link:cpu-ndp; "
+            "validated against the lanes the configured system exposes)"
+        ),
+    )
+    parser.add_argument(
+        "--shock-rate",
+        type=float,
+        default=None,
+        help=(
+            "serve-bench fault injection: mean correlated shocks per "
+            "virtual second — each shock takes a whole lane group down "
+            "at once (off unless given)"
+        ),
+    )
+    parser.add_argument(
+        "--shock-groups",
+        nargs="+",
+        default=None,
+        help=(
+            "lane groups a shock strikes, one comma-separated group per "
+            "argument (e.g. 'ndp,link:cpu-ndp' cpu); default: one group "
+            "of every lane the system exposes (a full-fleet shock)"
+        ),
+    )
+    parser.add_argument(
+        "--slowdown-factor",
+        type=float,
+        default=None,
+        help=(
+            "serve-bench fault injection: draw non-lethal slowdown "
+            "windows (service times inflate by this factor, > 1.0) over "
+            "--fault-lanes at the outage MTBF (off unless given)"
+        ),
+    )
+    parser.add_argument(
+        "--checkpoint",
+        action="store_true",
+        help=(
+            "serve-bench fault injection: record completed-stage "
+            "frontiers at failure and resume retries as residual "
+            "pipelines (RetryPolicy(checkpoint=True))"
         ),
     )
     parser.add_argument(

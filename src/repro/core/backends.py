@@ -64,10 +64,14 @@ Fault injection (:mod:`repro.core.faults`) extends the same contract:
 a shard whose lanes carry fault-plan events is declined by *every*
 replay backend with :data:`FAULTED_SHARD_REASON` — the replays model
 the healthy machine only, and the decline-not-approximate rule means
-they must never silently ignore an outage window.  Faulted shards
-always run on the fault-aware generator engine path; an *empty* fault
-plan never triggers the decline, so it stays bit-identical to no plan
-across all four backends.
+they must never silently ignore an outage window.  A shard whose lanes
+carry only *slowdown* windows (partial degradation, nothing killed) is
+declined with its own :data:`SLOWDOWN_SHARD_REASON`: inflated service
+times break the FIFO hop-cascade equivalence the replays rest on, so
+they must not approximate those either.  Affected shards always run on
+the fault-aware generator engine path; an *empty* fault plan never
+triggers either decline, so it stays bit-identical to no plan across
+all four backends.
 """
 
 from __future__ import annotations
@@ -234,6 +238,19 @@ _ZERO_DURATION_REASON = (
 FAULTED_SHARD_REASON = (
     "the shard's lanes carry fault-plan events, which only the "
     "fault-aware engine path can simulate"
+)
+
+#: Why every replay backend declines a shard whose lanes carry only
+#: *slowdown* windows — quoted verbatim in the forced-backend error.
+#: The replays' FIFO hop-cascade equivalence argument assumes every
+#: occupancy's duration is the schedule's nominal one; a slowdown
+#: window inflates services piecewise, so grant orders can differ from
+#: the healthy timetable in ways the replays cannot prove equivalent.
+#: Decline, never approximate.
+SLOWDOWN_SHARD_REASON = (
+    "the shard's lanes carry slowdown windows, whose piecewise-"
+    "inflated service times break the replays' FIFO hop-cascade "
+    "equivalence; only the fault-aware engine path can simulate them"
 )
 
 

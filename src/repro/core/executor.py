@@ -393,14 +393,19 @@ class _RunFaultState:
     Every stage process of a job holds the same instance; the first
     fault that kills a task wins (deterministic: failures happen at
     fault-event instants processed in engine order) and later stages
-    observe it and fall through."""
+    observe it and fall through.  ``completed`` collects the stages
+    whose device occupancy finished — including stages already in
+    service on another lane when the failure struck, whose committed
+    occupancies run to completion — which is the checkpoint frontier a
+    ``RetryPolicy(checkpoint=True)`` resume starts past."""
 
-    __slots__ = ("failed_at", "lane", "kind")
+    __slots__ = ("failed_at", "lane", "kind", "completed")
 
     def __init__(self) -> None:
         self.failed_at: float | None = None
         self.lane: str | None = None
         self.kind: str | None = None
+        self.completed: list[str] = []
 
     def fail(self, time: float, lane: str, kind: str) -> None:
         if self.failed_at is None:
@@ -721,17 +726,30 @@ class PipelineExecutor:
     ) -> tuple[str, list[ExecutionReport], float, int]:
         """Simulate a shard whose lanes carry fault-plan events.
 
-        Only the fault-aware generator engine understands outage windows,
-        so every replay backend declines here — forcing one raises with
-        the named reason, mirroring :meth:`_simulate_shard`'s refusal
-        style.  Run failures are appended to ``failures`` keyed by the
-        *batch-global* submission index from ``indices``.
+        Only the fault-aware generator engine understands outage and
+        slowdown windows, so every replay backend declines here —
+        forcing one raises with the named reason, mirroring
+        :meth:`_simulate_shard`'s refusal style.  The reason
+        distinguishes the two shapes: a shard whose lanes carry any
+        job-killing event (outage window, permanent death) declines
+        with :data:`~repro.core.backends.FAULTED_SHARD_REASON`; a
+        slowdown-only shard — nothing dies, services just inflate —
+        declines with
+        :data:`~repro.core.backends.SLOWDOWN_SHARD_REASON` (the FIFO
+        hop-cascade equivalence does not carry over to inflated
+        services).  Run failures are appended to ``failures`` keyed by
+        the *batch-global* submission index from ``indices``.
         """
         if forced is not None and forced.name != _ENGINE_BACKEND:
+            reason = (
+                _backends.FAULTED_SHARD_REASON
+                if faults.affects_lethally(self._shard_lane_names(shard_jobs))
+                else _backends.SLOWDOWN_SHARD_REASON
+            )
             raise SimulationError(
                 f"backend {forced.name!r} cannot simulate a "
                 f"{len(shard_jobs)}-job shard "
-                f"({_backends.FAULTED_SHARD_REASON}) and no fallback "
+                f"({reason}) and no fallback "
                 "is allowed"
             )
 
@@ -1030,6 +1048,7 @@ class PipelineExecutor:
                             time=state.failed_at,
                             lane=state.lane,
                             kind=state.kind,
+                            completed_stages=tuple(sorted(state.completed)),
                         )
                     )
         return job_reports, makespan
@@ -1189,6 +1208,12 @@ class PipelineExecutor:
                     label_prefix + name,
                 )
             )
+            if alive:
+                # The stage's device work finished — even if another
+                # stage of the job failed mid-flight, this occupancy was
+                # committed and ran to completion, so it belongs to the
+                # checkpoint frontier a resume may start past.
+                fault_state.completed.append(name)
             yield device.release()
             if not alive:
                 return
@@ -1217,19 +1242,21 @@ class PipelineExecutor:
         The caller already holds the lane's resource.  A task granted
         inside an outage window waits the window out (no failure); a
         window starting mid-service — or the lane's permanent death —
-        kills the job at that instant and marks ``fault_state``.  Yields
-        engine commands; returns True when the occupancy completed,
-        False when the job failed (the caller releases and bails out).
+        kills the job at that instant and marks ``fault_state``.
+        Slowdown windows never kill: they inflate the occupancy to the
+        piecewise wall time the fault plan resolved.  Yields engine
+        commands; returns True when the occupancy completed, False when
+        the job failed (the caller releases and bails out).
         """
         grant = engine.now
-        service, fail_time, kind = fault_plan.resolve_service(
+        service, wall, fail_time, kind = fault_plan.resolve_service(
             lane, grant, duration
         )
         if fail_time is None:
             if service > grant:
                 yield engine.timeout(service - grant)
             start = engine.now
-            yield engine.timeout(duration)
+            yield engine.timeout(wall)
             if observer is not None:
                 observer(lane, label, start, engine.now)
             return True

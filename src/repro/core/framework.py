@@ -757,6 +757,19 @@ class NdftFramework:
     # ------------------------------------------------------------------
     # Batched jobs
     # ------------------------------------------------------------------
+    def fault_lanes(self) -> tuple[str, ...]:
+        """Every lane name the configured system exposes to fault plans:
+        one device lane per registered scheduler target plus the
+        pairwise ``link:a-b`` wire lanes the executor creates between
+        them.  A fault window on any other lane name can never fire —
+        the CLI validates ``--fault-lanes`` against this set."""
+        targets = sorted(self.scheduler.targets, key=lambda p: p.value)
+        lanes = [p.value for p in targets]
+        for i, a in enumerate(targets):
+            for b in targets[i + 1 :]:
+                lanes.append("link:" + "-".join(sorted((a.value, b.value))))
+        return tuple(sorted(lanes))
+
     def run_many(
         self,
         batch: Sequence[int | ProblemSize | Pipeline],
@@ -821,8 +834,15 @@ class NdftFramework:
         The result's ``jobs``/latency properties then cover the jobs
         that eventually completed, and :attr:`NdftBatchResult.resilience`
         records every attempt, availability, goodput vs throughput, and
-        post-fault latency percentiles.  An *empty* plan is bit-identical
-        to no plan across every backend.
+        post-fault latency percentiles.  Plans may also carry correlated
+        shock outages (:func:`~repro.core.faults.shock_fault_plan`) and
+        non-lethal :class:`~repro.core.faults.SlowdownWindow` degradation
+        (service times inflate piecewise, jobs survive), and
+        ``RetryPolicy(checkpoint=True)`` turns retries into resumes:
+        the failed run's completed-stage frontier re-enters as the
+        residual suffix pipeline, and the report surfaces
+        ``resumed_stages``/``work_saved_seconds``.  An *empty* plan is
+        bit-identical to no plan across every backend.
         """
         if not batch:
             raise ValueError("run_many needs at least one job")
@@ -952,6 +972,16 @@ class NdftFramework:
         exact DP with every dead-at-release target excluded
         (:meth:`_schedule_for` with ``exclude=``), reusing the degraded
         schedule across runs via the composite cache keys.
+
+        Under ``retry.checkpoint`` a failed run's completed-stage
+        frontier rides along with its retry, which re-enters as the
+        *residual* pipeline (:meth:`Pipeline.residual`): the suffix past
+        the frontier, scheduled through the same exact DP under its own
+        content-derived signature, so residual and full schedules
+        coexist in every cache.  Frontiers accumulate across attempts,
+        and each resumed attempt's skipped work — valued at the base
+        schedule's stage times — surfaces as
+        :attr:`ResilienceReport.work_saved_seconds`.
         """
         n = len(jobs)
         releases0 = (
@@ -968,23 +998,49 @@ class NdftFramework:
                 ) from exc
             dead_at[placement] = death
 
-        def resolve_run(job_index: int, release: float):
-            """The (schedule, exclusion, degraded?) for one run: dead-at-
-            release targets are excluded iff the base placement touches
+        # Residual (pipeline, signature, schedule) per checkpoint
+        # frontier, built once per (job, frontier) within this call; the
+        # residual's schedule and solo numbers persist across calls via
+        # the ordinary content-derived signature caches.
+        residuals: dict[tuple[int, tuple[str, ...]], tuple] = {}
+
+        def resolve_run(job_index: int, release: float, frontier: tuple):
+            """The (pipeline, signature, schedule, exclusion, degraded?,
+            work_saved) for one run.  A non-empty ``frontier`` swaps in
+            the residual pipeline past the checkpointed stages; dead-at-
+            release targets are excluded iff the run's placement touches
             one (a placement clear of every dead lane cannot suffer a
             permanent failure, so re-solving would change nothing)."""
-            _problem, pipeline, base_schedule, signature = jobs[job_index]
+            _problem, pipeline, schedule, signature = jobs[job_index]
+            work_saved = 0.0
+            if frontier:
+                base_times = schedule.stage_times
+                work_saved = sum(
+                    base_times[name].total for name in frontier
+                )
+                key = (job_index, frontier)
+                cached = residuals.get(key)
+                if cached is None:
+                    residual = pipeline.residual(frontier)
+                    r_signature = (
+                        self.job_signature(residual) if self.memoize else None
+                    )
+                    cached = (
+                        residual,
+                        r_signature,
+                        self._schedule_for(residual, r_signature),
+                    )
+                    residuals[key] = cached
+                pipeline, signature, schedule = cached
             excl = frozenset(
                 p for p, death in dead_at.items() if death <= release
             )
-            if not excl or not (
-                excl & set(base_schedule.assignments.values())
-            ):
-                return base_schedule, frozenset(), False
+            if not excl or not (excl & set(schedule.assignments.values())):
+                return pipeline, signature, schedule, frozenset(), False, work_saved
             degraded = self._schedule_for(pipeline, signature, exclude=excl)
-            return degraded, excl, True
+            return pipeline, signature, degraded, excl, True, work_saved
 
-        base_runs = [(i, 1, releases0[i]) for i in range(n)]
+        base_runs = [(i, 1, releases0[i], ()) for i in range(n)]
         runs = base_runs
         max_rounds = (len(faults.event_times()) + 1) * retry.max_attempts + 2
         report = None
@@ -993,10 +1049,10 @@ class NdftFramework:
         for _round in range(max_rounds):
             sim_jobs = []
             run_meta = []
-            for job_index, _attempt, release in runs:
-                schedule, excl, degraded = resolve_run(job_index, release)
-                sim_jobs.append((jobs[job_index][1], schedule))
-                run_meta.append((schedule, excl, degraded))
+            for job_index, _attempt, release, frontier in runs:
+                resolved = resolve_run(job_index, release, frontier)
+                sim_jobs.append((resolved[0], resolved[2]))
+                run_meta.append(resolved)
             # The base round of a closed batch must be the exact no-plan
             # submission (arrivals=None, not explicit zeros): the empty-
             # plan bit-identity contract covers the event stream, and a
@@ -1004,7 +1060,7 @@ class NdftFramework:
             sim_arrivals = (
                 None
                 if arrivals is None and runs == base_runs
-                else [release for _job, _attempt, release in runs]
+                else [release for _job, _attempt, release, _f in runs]
             )
             report = self.executor.execute_many(
                 sim_jobs,
@@ -1017,7 +1073,9 @@ class NdftFramework:
             )
             failed_runs = {failure.job: failure for failure in report.failures}
             new_runs = list(base_runs)
-            for position, (job_index, attempt, _release) in enumerate(runs):
+            for position, (job_index, attempt, _release, frontier) in enumerate(
+                runs
+            ):
                 failure = failed_runs.get(position)
                 if failure is None:
                     continue
@@ -1031,7 +1089,16 @@ class NdftFramework:
                     > retry.job_timeout
                 ):
                     continue
-                new_runs.append((job_index, next_attempt, next_release))
+                next_frontier = frontier
+                if retry.checkpoint and failure.completed_stages:
+                    # The frontier accumulates: stages the residual run
+                    # completed join the stages earlier attempts banked.
+                    next_frontier = tuple(
+                        sorted(set(frontier) | set(failure.completed_stages))
+                    )
+                new_runs.append(
+                    (job_index, next_attempt, next_release, next_frontier)
+                )
             if new_runs == runs:
                 break
             runs = new_runs
@@ -1051,9 +1118,12 @@ class NdftFramework:
         # AttemptRecord.
         completed: dict[int, int] = {}
         records = []
-        for position, (job_index, attempt, release) in enumerate(runs):
+        for position, (job_index, attempt, release, frontier) in enumerate(
+            runs
+        ):
             failure = failed_runs.get(position)
-            _schedule, _excl, degraded = run_meta[position]
+            degraded = run_meta[position][4]
+            work_saved = run_meta[position][5]
             if failure is None:
                 completed[job_index] = position
             records.append(
@@ -1066,6 +1136,8 @@ class NdftFramework:
                     failure_lane=None if failure is None else failure.lane,
                     failure_kind=None if failure is None else failure.kind,
                     degraded=degraded,
+                    frontier=frontier,
+                    work_saved=work_saved,
                 )
             )
         abandoned = tuple(
@@ -1119,9 +1191,12 @@ class NdftFramework:
         kept_solo = []
         for job_index in kept:
             position = completed[job_index]
-            problem, pipeline, _base_schedule, signature = jobs[job_index]
-            schedule, excl, degraded = run_meta[position]
-            if degraded:
+            problem = jobs[job_index][0]
+            pipeline, signature, schedule, excl, degraded, _saved = run_meta[
+                position
+            ]
+            resumed = pipeline is not jobs[job_index][1]
+            if degraded or resumed:
                 excl_key = tuple(sorted(p.value for p in excl))
                 solo_key = (
                     None if signature is None else (signature, excl_key)

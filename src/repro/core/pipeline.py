@@ -263,6 +263,45 @@ class Pipeline:
         object.__setattr__(self, "_structural_hash", value)
         return value
 
+    def residual(self, completed) -> "Pipeline":
+        """The suffix subgraph left after checkpointing ``completed``.
+
+        ``completed`` is a collection of stage names whose work already
+        finished (a checkpoint frontier recorded at failure time).  The
+        residual pipeline keeps every other stage and only the edges
+        between kept stages: an edge crossing the frontier carries data
+        the checkpoint already materialized next to its consumer, so the
+        resumed job pays neither its transfer cost nor its Eq. 1
+        overhead term.  Kept stages retain their declaration order, so
+        the residual of a residual is well-defined and deterministic.
+
+        The frontier recorded by the executor is downward-closed by
+        construction (a stage only completes after all predecessors
+        did), which makes the residual a genuine suffix of the DAG.
+        Completing every stage leaves nothing to resume and is rejected
+        — a failed job always has at least the failing stage left.
+        """
+        frontier = set(completed)
+        unknown = sorted(frontier - set(self._by_name))
+        if unknown:
+            raise ConfigError(
+                f"checkpoint frontier names unknown stages {unknown}"
+            )
+        kept = tuple(s for s in self.stages if s.name not in frontier)
+        if not frontier:
+            return self
+        if not kept:
+            raise ConfigError(
+                "checkpoint frontier covers every stage; nothing to resume"
+            )
+        kept_names = {s.name for s in kept}
+        kept_edges = tuple(
+            e
+            for e in self.edges
+            if e.src in kept_names and e.dst in kept_names
+        )
+        return Pipeline(problem=self.problem, stages=kept, edges=kept_edges)
+
     def critical_path_length(self, node_weight) -> float:
         """Longest path through the DAG, nodes weighted by
         ``node_weight(stage_name) -> float`` (edges free).  The lower

@@ -27,6 +27,14 @@ only when the two measurements are actually comparable: same host class
 arrival seed (a different Poisson process is a different experiment,
 not a regression).
 
+Fault-injected files trend their resilience numbers the same way: when
+both reports carry *matching* fault descriptors (a mismatch refuses the
+whole comparison, see below), **availability** and **goodput** fail CI
+when the fresh value *drops* beyond the tolerance at any shared batch
+size, under the same host-class and same-arrival-process rules as
+throughput — the tripwire that keeps "recovery got worse under the
+same fault plan" from sliding in unnoticed.
+
 The arrival sweep's **knee dominant lane** is pinned as well: when both
 files swept the same load grid (same seed, batch size and rates) and
 both located a knee at the same rate, the most-utilized device/wire
@@ -227,6 +235,29 @@ def compare_serving_reports(
                     f"({p99_after / p99_before - 1.0:+.1%}, "
                     f"tolerance +{max_regression:.0%})"
                 )
+        resilience_pair = _comparable_resilience(point_before, point_after)
+        if resilience_pair is not None:
+            res_before, res_after = resilience_pair
+            for metric, label, unit in (
+                ("availability", "availability", ""),
+                ("goodput", "goodput", " jobs/s"),
+            ):
+                before_value = res_before.get(metric)
+                after_value = res_after.get(metric)
+                if (
+                    before_value is None
+                    or after_value is None
+                    or not before_value > 0
+                ):
+                    continue
+                if after_value < before_value * (1.0 - max_regression):
+                    failures.append(
+                        f"batch {batch_size}: fault-injected {label} "
+                        f"regressed {before_value:.4g} -> "
+                        f"{after_value:.4g}{unit} "
+                        f"({after_value / before_value - 1.0:+.1%}, "
+                        f"tolerance -{max_regression:.0%})"
+                    )
     return failures
 
 
@@ -285,6 +316,27 @@ def _comparable_p99(
     return before, after
 
 
+def _comparable_resilience(
+    point_before: dict, point_after: dict
+) -> tuple[dict, dict] | None:
+    """The two points' resilience blocks, when their fault-injected
+    measurements can be trended against each other: both present and
+    the same offered load and arrival seed.  The top-level fault
+    descriptor already matched (a mismatch refuses the whole
+    comparison), so the two blocks measure the same fault plan."""
+    arrival_before = point_before.get("arrival") or {}
+    arrival_after = point_after.get("arrival") or {}
+    before = arrival_before.get("resilience")
+    after = arrival_after.get("resilience")
+    if before is None or after is None:
+        return None
+    if arrival_before.get("rate_jobs_per_second") != arrival_after.get(
+        "rate_jobs_per_second"
+    ) or arrival_before.get("seed") != arrival_after.get("seed"):
+        return None
+    return before, after
+
+
 def format_comparison(
     committed: dict, fresh: dict, failures: list[str]
 ) -> str:
@@ -324,9 +376,22 @@ def format_comparison(
                 p99_note = (
                     f", p99 {p99_pair[0]:.4f} -> {p99_pair[1]:.4f} s"
                 )
+            resilience_note = ""
+            resilience_pair = _comparable_resilience(
+                committed_points[batch_size], fresh_points[batch_size]
+            )
+            if resilience_pair is not None:
+                res_before, res_after = resilience_pair
+                resilience_note = (
+                    f", avail {res_before.get('availability', 0):.0%} -> "
+                    f"{res_after.get('availability', 0):.0%}, goodput "
+                    f"{res_before.get('goodput', 0):.2f} -> "
+                    f"{res_after.get('goodput', 0):.2f}"
+                )
             lines.append(
                 f"  batch {batch_size:5d}: {before:10.1f} -> {after:10.1f} "
-                f"jobs/s ({after / before - 1.0:+.1%}{speedups}{p99_note})"
+                f"jobs/s ({after / before - 1.0:+.1%}{speedups}{p99_note}"
+                f"{resilience_note})"
             )
     if failures:
         lines.append("FAIL:")

@@ -743,20 +743,38 @@ def format_serve_bench(report: ServeBenchReport, cached: bool = True) -> str:
             lines.append(
                 f"admission: {policy.mode} past {', '.join(criteria)}"
             )
+        checkpointing = False
         if report.faults is not None:
             plan = report.faults
             retry = report.retry or RetryPolicy()
+            checkpointing = retry.checkpoint
+            shapes = [
+                f"{len(plan.outages)} outage window(s)",
+                f"{len(plan.permanent)} permanent failure(s)",
+            ]
+            if plan.shock_rate is not None:
+                shapes.append(
+                    f"correlated shocks at {plan.shock_rate:g}/s over "
+                    f"{len(plan.shock_groups)} group(s)"
+                )
+            if plan.slowdowns:
+                shapes.append(
+                    f"{len(plan.slowdowns)} slowdown window(s) "
+                    f"({', '.join(sorted(plan.slowdown_lanes()))})"
+                )
             lines.append(
-                f"faults: {len(plan.outages)} outage window(s), "
-                f"{len(plan.permanent)} permanent failure(s) on "
+                f"faults: {', '.join(shapes)} on "
                 f"{', '.join(sorted(plan.lanes)) or 'no lanes'} "
                 f"(seed {plan.seed}, digest {plan.digest()}); retry up to "
                 f"{retry.max_attempts} attempts, backoff "
                 f"{retry.backoff_base:g}s x{retry.backoff_factor:g}"
+                + (", checkpoint/resume on" if checkpointing else "")
             )
         fault_cols = (
             "" if report.faults is None else f" {'avail':>6s} {'goodput':>9s}"
         )
+        if checkpointing:
+            fault_cols += f" {'resumed':>8s} {'saved (s)':>10s}"
         lines.append(
             f"{'batch':>6s} {'wall (s)':>10s} {'p50 lat (s)':>12s} "
             f"{'p99 lat (s)':>12s} {'queue delay':>12s} {'shed':>6s}"
@@ -770,6 +788,11 @@ def format_serve_bench(report: ServeBenchReport, cached: bool = True) -> str:
                     f" {a.resilience['availability']:5.0%} "
                     f"{a.resilience['goodput']:9.1f}"
                 )
+                if checkpointing:
+                    fault_cells += (
+                        f" {a.resilience['resumed_stages']:8d} "
+                        f"{a.resilience['work_saved_seconds']:10.4f}"
+                    )
             lines.append(
                 f"{p.batch_size:6d} {a.wall_seconds:10.4f} "
                 f"{a.p50_latency:12.4f} {a.p99_latency:12.4f} "

@@ -890,17 +890,100 @@ def resolve_faulty_service(
     ``[service_start, fail_time)``; for a success it is
     ``[service_start, service_start + duration)``.
     """
+    service, _wall, fail_time, kind = resolve_degraded_service(
+        windows, (), dead_at, grant, duration
+    )
+    return service, fail_time, kind
+
+
+def inflate_service(
+    slowdowns: tuple[tuple[float, float, float], ...],
+    start: float,
+    duration: float,
+) -> float:
+    """Wall-clock span of a service under partial-degradation windows.
+
+    ``slowdowns`` is the lane's slowdown list — ``(start, end, factor)``
+    half-open windows, sorted by start and non-overlapping — during
+    which the lane runs at ``1/factor`` of its nominal rate.  A service
+    beginning at ``start`` with ``duration`` nominal seconds of work
+    accrues piecewise: full-rate segments between windows consume one
+    nominal second per wall second, degraded segments consume
+    ``1/factor``.  A service spanning a window boundary therefore
+    splits deterministically at the boundary, in timeline order — the
+    float-accrual order is fixed, so the same windows always produce
+    the same wall span.
+
+    When no window overlaps ``[start, start + wall)`` the return value
+    is exactly ``duration`` (the accumulator stays untouched until the
+    first overlapping window), which is what keeps no-overlap plans
+    bit-identical to no plan.
+    """
+    remaining = duration  # nominal seconds of work still owed
+    now = start
+    wall = 0.0
+    for win_start, win_end, factor in slowdowns:
+        if win_end <= now:
+            continue
+        if win_start > now:
+            # Full-rate segment up to the window (or completion).
+            healthy = win_start - now
+            if remaining <= healthy:
+                return wall + remaining
+            wall += healthy
+            remaining -= healthy
+            now = win_start
+        # Degraded segment inside [now, win_end): 1/factor rate.
+        capacity = (win_end - now) / factor
+        if remaining <= capacity:
+            return wall + remaining * factor
+        wall += win_end - now
+        remaining -= capacity
+        now = win_end
+    return wall + remaining
+
+
+def resolve_degraded_service(
+    windows: tuple[tuple[float, float], ...],
+    slowdowns: tuple[tuple[float, float, float], ...],
+    dead_at: float | None,
+    grant: float,
+    duration: float,
+) -> tuple[float, float, float | None, str | None]:
+    """The full advance-knowledge kernel: outages *and* slowdowns.
+
+    Like :func:`resolve_faulty_service`, but the service's wall span is
+    first inflated through the lane's ``slowdowns``
+    (:func:`inflate_service`), and the kill checks — a window starting
+    mid-service, an overrun past the permanent death — run against the
+    *inflated* span: a slowdown can push a service into an outage
+    window it would have cleared at full rate.  Returns
+    ``(service_start, wall_duration, fail_time, kind)``; with no
+    slowdowns ``wall_duration`` is exactly ``duration``.
+    """
     service = grant
+    wall = None
     for start, end in windows:
         if end <= service:
             continue
         if start <= service:
             # Granted while the lane is down: wait out the window.
             service = end
-        elif start < service + duration:
-            return service, start, "outage"
-        else:
-            break
-    if dead_at is not None and service + duration > dead_at:
-        return service, max(grant, dead_at), "permanent"
-    return service, None, None
+            continue
+        wall = (
+            inflate_service(slowdowns, service, duration)
+            if slowdowns
+            else duration
+        )
+        if start < service + wall:
+            return service, wall, start, "outage"
+        break
+    if wall is None:
+        wall = (
+            inflate_service(slowdowns, service, duration)
+            if slowdowns
+            else duration
+        )
+    if dead_at is not None and service + wall > dead_at:
+        return service, wall, max(grant, dead_at), "permanent"
+    return service, wall, None, None

@@ -213,6 +213,65 @@ class TestCompareServingReports:
         assert compare_serving_reports(healthy, explicit_off) == []
 
     @staticmethod
+    def _resilient(jps, availability, goodput, rate=2.0, seed=0, digest="abc123"):
+        report = dict(
+            _report([(16, jps)]),
+            faults={
+                "plan": {"seed": 7, "digest": digest},
+                "retry": {"max_attempts": 3, "checkpoint": True},
+            },
+        )
+        report["points"][0]["arrival"] = {
+            "rate_jobs_per_second": rate,
+            "seed": seed,
+            "resilience": {"availability": availability, "goodput": goodput},
+        }
+        return report
+
+    def test_availability_and_goodput_gated_at_matching_descriptors(self):
+        """Under *matching* fault descriptors the resilience numbers are
+        trended, not refused: a >tolerance drop in availability or
+        goodput fails CI."""
+        committed = self._resilient(1000.0, 1.0, 1.8)
+        within = self._resilient(990.0, 0.9, 1.5)
+        assert compare_serving_reports(committed, within) == []
+        worse_avail = self._resilient(990.0, 0.5, 1.8)
+        failures = compare_serving_reports(committed, worse_avail)
+        assert len(failures) == 1
+        assert "availability" in failures[0]
+        worse_goodput = self._resilient(990.0, 1.0, 0.9)
+        failures = compare_serving_reports(committed, worse_goodput)
+        assert len(failures) == 1
+        assert "goodput" in failures[0]
+
+    def test_resilience_not_compared_across_rates_or_hosts(self):
+        """Same comparability rules as throughput/p99: a different
+        arrival process skips the gate, and so does a host-class
+        mismatch."""
+        committed = self._resilient(1000.0, 1.0, 1.8)
+        other_rate = self._resilient(1000.0, 0.1, 0.1, rate=9.0)
+        assert compare_serving_reports(committed, other_rate) == []
+        meta_a = {"python": "3.11.7", "machine": "x86_64", "cpu_count": 1}
+        meta_b = {"python": "3.12.1", "machine": "x86_64", "cpu_count": 4}
+        cross_host = dict(self._resilient(1000.0, 0.1, 0.1), metadata=meta_b)
+        committed_meta = dict(committed, metadata=meta_a)
+        assert compare_serving_reports(committed_meta, cross_host) == []
+
+    def test_resilience_gate_skips_missing_blocks(self):
+        committed = self._resilient(1000.0, 1.0, 1.8)
+        missing = self._resilient(1000.0, 1.0, 1.8)
+        del missing["points"][0]["arrival"]["resilience"]
+        assert compare_serving_reports(committed, missing) == []
+
+    def test_format_shows_resilience_trend(self):
+        committed = self._resilient(1000.0, 1.0, 1.8)
+        fresh = self._resilient(1000.0, 0.5, 0.9)
+        failures = compare_serving_reports(committed, fresh)
+        text = format_comparison(committed, fresh, failures)
+        assert "avail 100% -> 50%" in text
+        assert "goodput 1.80 -> 0.90" in text
+
+    @staticmethod
     def _sweep(knee_lane, seed=0, batch_size=256, rates=(1.0, 2.0), knee_rate=None):
         return {
             "seed": seed,
