@@ -15,6 +15,7 @@ serving performance trajectory.
 from __future__ import annotations
 
 import json
+import os
 import time
 
 import pytest
@@ -25,11 +26,24 @@ from repro.dft.workload import problem_size
 from repro.experiments.scale_serving import (
     job_mix,
     measure_run_many,
+    run_fleet_bench,
     run_serve_bench,
 )
+from repro.fleet import WorkerPool
 
 #: The acceptance batch: 256 jobs over four distinct sizes.
 ACCEPTANCE_BATCH = 256
+
+#: The fleet acceptance batch and fleet size (the --replicas 4 target).
+FLEET_BATCH = 1024
+FLEET_REPLICAS = 4
+
+
+def _usable_cpus() -> int:
+    try:
+        return len(os.sched_getaffinity(0))
+    except AttributeError:  # pragma: no cover - non-Linux hosts
+        return os.cpu_count() or 1
 
 
 @pytest.fixture(scope="module")
@@ -241,6 +255,90 @@ def test_vector_replay_speedup():
         f"({speedup:.1f}x, results_identical={results_identical})"
     )
     assert speedup >= 5.0
+
+
+def test_fleet_results_bit_identical_to_single_process():
+    """The fleet tentpole's correctness half, asserted unconditionally:
+    every per-job virtual completion time a 4-replica worker-process
+    fleet reports is bit-identical to a single-process ``run_many`` of
+    the same routed assignment."""
+    sizes = job_mix(FLEET_BATCH)
+    with WorkerPool(FLEET_REPLICAS) as pool:
+        result = pool.serve(sizes)
+    for summary in result.replicas:
+        if not summary.job_indices:
+            continue
+        solo = NdftFramework().run_many(
+            [sizes[i] for i in summary.job_indices]
+        )
+        assert summary.completion_times == tuple(
+            job.report.total_time for job in solo.jobs
+        )
+
+
+@pytest.mark.skipif(
+    _usable_cpus() < FLEET_REPLICAS,
+    reason=f"fleet speedup needs >= {FLEET_REPLICAS} usable CPUs "
+    f"(host has {_usable_cpus()}); the bit-identity half runs everywhere",
+)
+def test_fleet_wall_clock_speedup():
+    """The fleet tentpole's throughput half: sustained serving of the
+    1024-job mixed batch at --replicas 4 is >= 2.5x the single-process
+    wall-clock jobs/s.  Measured on a warm pool over several rounds so
+    per-serve dispatch overhead is amortized the way a serving loop
+    amortizes it; best-of-3 filters scheduler noise."""
+    sizes = job_mix(FLEET_BATCH)
+    rounds = 8
+
+    single = NdftFramework()
+    single.run_many(sizes)  # warm caches: steady-state serving regime
+    single_wall = float("inf")
+    for _ in range(3):
+        start = time.perf_counter()
+        for _ in range(rounds):
+            single.run_many(sizes)
+        single_wall = min(single_wall, time.perf_counter() - start)
+    single_jps = (FLEET_BATCH * rounds) / single_wall
+
+    with WorkerPool(FLEET_REPLICAS) as pool:
+        pool.serve(sizes)  # warm-up: spawn workers, share the snapshot
+        fleet_jps = 0.0
+        for _ in range(3):
+            result = pool.serve(sizes, rounds=rounds)
+            fleet_jps = max(fleet_jps, result.jobs_per_second_wall)
+
+    speedup = fleet_jps / single_jps
+    print(
+        f"\nfleet serving: {FLEET_BATCH} jobs x {rounds} rounds, "
+        f"single-process {single_jps:.0f} jobs/s -> "
+        f"{FLEET_REPLICAS} replicas {fleet_jps:.0f} jobs/s "
+        f"({speedup:.1f}x)"
+    )
+    assert speedup >= 2.5
+
+
+def test_fleet_bench_emits_replica_breakdown(tmp_path):
+    """serve-bench --replicas: the fleet sweep records the per-replica
+    breakdown and the fleet size in BENCH_serving.json, and the closed
+    measurement's throughput column carries the fleet aggregate."""
+    report = run_fleet_bench(
+        batch_sizes=(16, 64), repeats=1, replicas=2, rounds=2
+    )
+    assert report.replicas == 2
+    path = report.write_json(tmp_path / "BENCH_serving.json")
+    payload = json.loads(path.read_text())
+    assert payload["replicas"] == 2
+    for point in payload["points"]:
+        fleet = point["fleet"]
+        assert fleet["replicas"] == 2
+        assert fleet["rounds"] == 2
+        assert sum(fleet["replica_jobs"]) == point["batch_size"]
+        assert len(fleet["replica_utilization"]) == 2
+        assert fleet["imbalance_ratio"] >= 1.0
+        assert fleet["jobs_per_second_wall"] > 0
+        assert point["jobs_per_second_cached"] > 0
+        arrival = point["arrival"]
+        assert arrival["p50_latency_seconds"] <= arrival["p99_latency_seconds"]
 
 
 def test_cached_run_many_throughput(benchmark):

@@ -19,6 +19,7 @@ Regenerates any of the paper's artifacts from a shell:
     python -m repro serve-bench --arrival-sweep --slo-p99 2.0  # ... shedding
     python -m repro serve-bench --mtbf 10 --mttr 1 --fault-seed 7  # ... faults
     python -m repro serve-bench --shock-rate 0.1 --slowdown-factor 2 --checkpoint
+    python -m repro serve-bench --replicas 4      # multi-process fleet serving
     python -m repro all           # everything, in paper order
 
 ``serve-bench`` is excluded from ``all``: it measures wall-clock time of
@@ -285,6 +286,7 @@ def _serve_bench(args, framework) -> str:
         DEFAULT_MIX,
         DEFAULT_SWEEP_RATES,
         format_serve_bench,
+        run_fleet_bench,
         run_serve_bench,
     )
 
@@ -302,6 +304,39 @@ def _serve_bench(args, framework) -> str:
             tuple(args.arrival_sweep) if args.arrival_sweep else DEFAULT_SWEEP_RATES
         )
     faults, retry = _fault_setup(args, framework)
+    if args.replicas is not None:
+        from repro.errors import ConfigError
+
+        if args.replicas < 1:
+            raise ConfigError(
+                f"--replicas needs a positive fleet size, got {args.replicas}"
+            )
+        incompatible = [
+            flag
+            for flag, given in (
+                ("--no-cache", args.no_cache),
+                ("--arrival-sweep", arrival_sweep_rates is not None),
+                ("--slo-p99/--max-queue-depth", _admission_policy(args)),
+                ("fault injection", faults is not None or args.checkpoint),
+            )
+            if given
+        ]
+        if incompatible:
+            raise ConfigError(
+                "--replicas measures the fleet fast path only; "
+                f"incompatible with {', '.join(incompatible)}"
+            )
+        report = run_fleet_bench(
+            batch_sizes=batch_sizes,
+            mix=mix,
+            repeats=args.repeats,
+            replicas=args.replicas,
+            arrival_rate=arrival_rate,
+            arrival_seed=args.arrival_seed,
+            backend=args.backend,
+        )
+        path = report.write_json(args.json) if args.json else report.write_json()
+        return format_serve_bench(report) + f"\nwrote {path}"
     report = run_serve_bench(
         batch_sizes=batch_sizes,
         mix=mix,
@@ -537,6 +572,18 @@ def main(argv: list[str] | None = None) -> int:
             "serve-bench fault injection: record completed-stage "
             "frontiers at failure and resume retries as residual "
             "pipelines (RetryPolicy(checkpoint=True))"
+        ),
+    )
+    parser.add_argument(
+        "--replicas",
+        type=int,
+        default=None,
+        help=(
+            "serve-bench: serve each batch with a fleet of this many "
+            "worker-process replicas behind the backlog-aware router "
+            "(shared warm snapshot, sustained over several rounds); "
+            "incompatible with --no-cache, --arrival-sweep, admission "
+            "and fault flags"
         ),
     )
     parser.add_argument(

@@ -10,6 +10,18 @@ latencies the serving reports quote (linear interpolation between order
 statistics, the numpy default, implemented locally so the core stays
 dependency-free).
 
+The arrival sampler is vectorized (one numpy draw plus a cumulative
+sum) but stays *bit-compatible* with the original
+``random.Random(seed).expovariate(rate)`` loop: committed benchmark
+artifacts record offsets from specific seeds, and those must never
+drift.  Two details make that exact rather than approximate: numpy's
+``RandomState`` is seeded with the same init-by-array key CPython
+derives from an int seed, so both visit the identical Mersenne Twister
+stream, and the log transform goes through ``math.log`` (libm) because
+numpy's SIMD ``np.log`` differs from libm by one ulp on a fraction of
+inputs.  :func:`_poisson_arrivals_loop` keeps the original loop as the
+regression oracle.
+
 Past the saturation knee an open queue grows without bound, so a served
 deployment needs to *act* at admission time: :class:`AdmissionPolicy`
 declares the SLO (:attr:`~AdmissionPolicy.slo_p99` on predicted
@@ -25,9 +37,30 @@ consumes the plan before simulating.
 from __future__ import annotations
 
 import heapq
+import math
 import random
 from dataclasses import dataclass
 from typing import Sequence
+
+import numpy as np
+
+
+def _mt_seed_key(seed: int) -> list[int]:
+    """The init-by-array key CPython derives from an int seed.
+
+    ``random.Random(seed)`` folds ``abs(seed)`` into 32-bit
+    little-endian chunks and feeds them to the Mersenne Twister's
+    ``init_by_array``; ``numpy.random.RandomState`` accepts the same key
+    and then produces the identical 53-bit uniform stream.
+    """
+    magnitude = abs(int(seed))
+    if magnitude == 0:
+        return [0]
+    key = []
+    while magnitude:
+        key.append(magnitude & 0xFFFFFFFF)
+        magnitude >>= 32
+    return key
 
 
 def poisson_arrivals(
@@ -39,7 +72,32 @@ def poisson_arrivals(
     inter-arrival gaps are exponential with mean ``1/rate``.  The first
     job arrives after one gap (not at t=0), and offsets are
     non-decreasing — the order the open queue admits them.
+
+    Vectorized, but bit-identical to :func:`_poisson_arrivals_loop` for
+    every (seed, rate): the uniforms come from the same Mersenne
+    Twister stream and the exponential transform applies libm's log to
+    each draw, exactly as ``Random.expovariate`` does.
     """
+    if n_jobs < 1:
+        raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
+    if rate <= 0:
+        raise ValueError(f"arrival rate must be > 0, got {rate}")
+    uniforms = np.random.RandomState(_mt_seed_key(seed)).random_sample(n_jobs)
+    np.subtract(1.0, uniforms, out=uniforms)
+    # math.log, not np.log: the SIMD log differs from libm by one ulp on
+    # a fraction of inputs, which would silently shift committed offsets.
+    gaps = np.fromiter(
+        map(math.log, uniforms.tolist()), dtype=np.float64, count=n_jobs
+    )
+    gaps /= -rate
+    return tuple(np.add.accumulate(gaps).tolist())
+
+
+def _poisson_arrivals_loop(
+    n_jobs: int, rate: float, seed: int = 0
+) -> tuple[float, ...]:
+    """The original scalar sampler, kept as the bit-compatibility oracle
+    for :func:`poisson_arrivals` (regression-tested, not served)."""
     if n_jobs < 1:
         raise ValueError(f"n_jobs must be >= 1, got {n_jobs}")
     if rate <= 0:

@@ -383,6 +383,41 @@ class BackendTuner:
             count += 1
         return count
 
+    def union(self, rows) -> int:
+        """Fold snapshot rows into the table *only where the cell is
+        absent*; returns the number of rows adopted.  This is the
+        fleet merge-back primitive: a worker's snapshot contains the
+        parent's own measurements plus whatever the worker observed, so
+        :meth:`merge`'s additive fold would double-count the shared
+        wall seconds on every round trip.  Union-if-absent is
+        idempotent — re-merging the same snapshot adopts nothing — at
+        the cost of ignoring refinements to cells the parent already
+        measured (acceptable: any measurement routes correctly, and
+        the parent's own cells keep accumulating live).  Row vetting
+        matches :meth:`merge` exactly."""
+        count = 0
+        registered = set(_backends.backend_names())
+        for row in rows:
+            try:
+                bucket, name, wall, jobs = row
+                bucket = int(bucket)
+                wall = float(wall)
+                jobs = float(jobs)
+            except (TypeError, ValueError):
+                continue
+            if name not in registered:
+                continue
+            if not (math.isfinite(wall) and wall >= 0.0):
+                continue
+            if not (math.isfinite(jobs) and jobs > 0.0):
+                continue
+            cells = self._samples.setdefault(bucket, {})
+            if name in cells:
+                continue
+            cells[name] = [wall, jobs]
+            count += 1
+        return count
+
     def clear(self) -> None:
         self._samples.clear()
 

@@ -412,6 +412,15 @@ class NdftFramework:
         #: NDP geometry) — computed once per distinct n_atoms, not per
         #: batch member; bounded for the same reason as the caches.
         self._footprint_cache: LruCache = LruCache(cache_size)
+        #: Memoized ``(registry, cost model)`` fingerprint pair and the
+        #: fault-lane catalog: pure functions of the target registry,
+        #: recomputed only after ``register_target`` invalidates them
+        #: (``None`` = not yet derived).  Unlike the LRU caches these are
+        #: kept even under ``memoize=False`` — they are identity digests,
+        #: not derived results, so staleness is the only hazard and
+        #: ``clear_caches`` drops them with everything else.
+        self._fingerprints: tuple[tuple, tuple] | None = None
+        self._fault_lanes: tuple[str, ...] | None = None
         #: Jobs simulated per backend name across every ``run_many``
         #: call (see :attr:`backend_stats`).
         self._backend_jobs: dict[str, int] = {}
@@ -532,8 +541,9 @@ class NdftFramework:
 
     def clear_caches(self) -> None:
         """Drop every memoized pipeline/schedule/SCA/solo-report entry,
-        minted signature and warm-start placement (hit/miss/eviction
-        counters are preserved)."""
+        minted signature, warm-start placement, and the memoized
+        registry/cost-model fingerprints and fault-lane catalog
+        (hit/miss/eviction counters are preserved)."""
         self._pipeline_cache.clear()
         self._schedule_cache.clear()
         self._solo_report_cache.clear()
@@ -541,9 +551,23 @@ class NdftFramework:
         self._signature_cache.clear()
         self._warm_start_index.clear()
         self._footprint_cache.clear()
+        self._fingerprints = None
+        self._fault_lanes = None
         # Backend wall-time measurements were taken against the old
         # registry's shard shapes; re-explore rather than trust them.
         self._backend_tuner.clear()
+
+    def fingerprints(self) -> tuple[tuple, tuple]:
+        """The ``(registry, cost model)`` fingerprint pair every minted
+        signature embeds, derived once per registry version instead of
+        re-walking the target registry and link table per job
+        (:meth:`register_target` invalidates via :meth:`clear_caches`)."""
+        if self._fingerprints is None:
+            self._fingerprints = (
+                target_registry_fingerprint(self.scheduler),
+                cost_model_fingerprint(self.cost_model),
+            )
+        return self._fingerprints
 
     # ------------------------------------------------------------------
     # Cache snapshots (serving deployments surviving process restarts)
@@ -574,12 +598,8 @@ class NdftFramework:
         constructor arguments, so snapshots are only allowed while the
         registry is untouched (:meth:`save_caches`/:meth:`load_caches`
         refuse after any ``register_target``)."""
-        return (
-            self.policy,
-            self.system,
-            target_registry_fingerprint(self.scheduler),
-            cost_model_fingerprint(self.cost_model),
-        )
+        registry_fp, cost_fp = self.fingerprints()
+        return (self.policy, self.system, registry_fp, cost_fp)
 
     def _check_snapshot_registry(self, action: str) -> None:
         """Refuse snapshot traffic once ``register_target`` has run:
@@ -656,32 +676,7 @@ class NdftFramework:
         corrupt file (half-written snapshot, disk error) raises
         :class:`~repro.errors.ConfigError` like every other rejected
         snapshot, never a raw ``EOFError``/``UnpicklingError``."""
-        self._check_snapshot_registry("load")
-        path = Path(path)
-        try:
-            with path.open("rb") as handle:
-                payload = pickle.load(handle)
-        except (EOFError, pickle.UnpicklingError, AttributeError) as exc:
-            raise ConfigError(
-                f"{path} is not a readable cache snapshot (truncated or "
-                f"corrupt pickle: {exc})"
-            ) from exc
-        if (
-            not isinstance(payload, dict)
-            or payload.get("format") != self.CACHE_SNAPSHOT_FORMAT
-        ):
-            raise ConfigError(
-                f"{path} is not a cache snapshot this version understands "
-                f"(expected format {self.CACHE_SNAPSHOT_FORMAT})"
-            )
-        fingerprint = self.cache_fingerprint()
-        if payload.get("fingerprint") != fingerprint:
-            raise ConfigError(
-                "refusing cache snapshot: it was taken under a different "
-                "policy/target-registry/cost-model fingerprint "
-                f"({payload.get('fingerprint')!r} vs {fingerprint!r}); "
-                "re-derive instead of serving stale schedules"
-            )
+        payload = self._read_snapshot(path, "load")
         loaded = 0
         for name, cache in self._snapshot_caches().items():
             for key, value in payload["caches"].get(name, ()):
@@ -714,25 +709,116 @@ class NdftFramework:
         )
         return loaded
 
+    def _read_snapshot(self, path: Path | str, action: str) -> dict:
+        """Read and vet a :meth:`save_caches` payload: registry still
+        pristine, readable pickle, known format, matching
+        :meth:`cache_fingerprint`.  Shared by :meth:`load_caches` and
+        :meth:`merge_caches` so both enforce identical refusal rules."""
+        self._check_snapshot_registry(action)
+        path = Path(path)
+        try:
+            with path.open("rb") as handle:
+                payload = pickle.load(handle)
+        except (EOFError, pickle.UnpicklingError, AttributeError) as exc:
+            raise ConfigError(
+                f"{path} is not a readable cache snapshot (truncated or "
+                f"corrupt pickle: {exc})"
+            ) from exc
+        if (
+            not isinstance(payload, dict)
+            or payload.get("format") != self.CACHE_SNAPSHOT_FORMAT
+        ):
+            raise ConfigError(
+                f"{path} is not a cache snapshot this version understands "
+                f"(expected format {self.CACHE_SNAPSHOT_FORMAT})"
+            )
+        fingerprint = self.cache_fingerprint()
+        if payload.get("fingerprint") != fingerprint:
+            raise ConfigError(
+                "refusing cache snapshot: it was taken under a different "
+                "policy/target-registry/cost-model fingerprint "
+                f"({payload.get('fingerprint')!r} vs {fingerprint!r}); "
+                "re-derive instead of serving stale schedules"
+            )
+        return payload
+
+    def merge_caches(self, path: Path | str) -> int:
+        """Fleet merge-back: union a worker's snapshot into this
+        framework's caches, counting only *never-seen* entries.
+
+        :meth:`load_caches` is the warm-start direction (overwrite-equal
+        semantics are fine because equal keys prove equal values); this
+        is the reverse direction — a fleet parent folding what each
+        worker replica learned back into the shared snapshot — and it
+        must be *idempotent*: a worker's snapshot contains everything
+        the parent shipped plus whatever the worker derived, so the
+        parent skips keys it already holds, adds only the novel
+        schedules/solo/SCA/footprint entries and warm-start sizes, and
+        unions only backend-tuner cells it has no measurement for
+        (:meth:`~repro.core.executor.BackendTuner.union` — the additive
+        :meth:`~repro.core.executor.BackendTuner.merge` would
+        double-count wall seconds on a second pass).  Merging the same
+        snapshot twice therefore reports 0 new entries the second time
+        (up to LRU capacity pressure).  The same refusal rules as
+        loading apply: format, fingerprint, pristine registry."""
+        payload = self._read_snapshot(path, "merge")
+        merged = 0
+        for name, cache in self._snapshot_caches().items():
+            for key, value in payload["caches"].get(name, ()):
+                if name == "warm_start":
+                    existing = cache.peek(key)
+                    if existing is None:
+                        existing = {}
+                        cache.put(key, existing)
+                    for size, placements in value.items():
+                        if size in existing:
+                            continue
+                        if (
+                            self.cache_size is not None
+                            and len(existing) >= self.cache_size
+                        ):
+                            break  # respect the per-structure FIFO cap
+                        existing[size] = placements
+                        merged += 1
+                    continue
+                if key in cache:
+                    continue
+                cache.put(key, value)
+                merged += 1
+        merged += self._backend_tuner.union(payload.get("backend_tuner", ()))
+        return merged
+
     def job_signature(self, pipeline: Pipeline) -> JobSignature:
         """The content-addressed key this framework memoizes ``pipeline``
         under (problem + structure + policy + targets + cost model).
 
-        Minting re-fingerprints the registry and cost model, so with
-        memoization on the signature itself is cached by pipeline object
-        identity (entries resolved through the pipeline cache share one
-        object); the cached pipeline is pinned in the value, so a
-        recycled ``id`` cannot alias, and registry changes clear the
-        cache through :meth:`register_target`."""
+        Minting reuses the framework's memoized :meth:`fingerprints`
+        (derived once per registry version), and with memoization on the
+        signature itself is cached by pipeline object identity (entries
+        resolved through the pipeline cache share one object); the
+        cached pipeline is pinned in the value, so a recycled ``id``
+        cannot alias, and registry changes clear the cache through
+        :meth:`register_target`."""
+        registry_fp, cost_fp = self.fingerprints()
         if not self.memoize:
             return job_signature(
-                pipeline, self.policy, self.scheduler, self.cost_model
+                pipeline,
+                self.policy,
+                self.scheduler,
+                self.cost_model,
+                registry_fp=registry_fp,
+                cost_fp=cost_fp,
             )
         entry = self._signature_cache.get(id(pipeline))
         if entry is not None and entry[0] is pipeline:
             return entry[1]
         signature = job_signature(
-            pipeline, self.policy, self.scheduler, self.cost_model
+            pipeline,
+            self.policy,
+            self.scheduler,
+            self.cost_model,
+            registry_fp=registry_fp,
+            cost_fp=cost_fp,
         )
         self._signature_cache.put(id(pipeline), (pipeline, signature))
         return signature
@@ -762,13 +848,19 @@ class NdftFramework:
         one device lane per registered scheduler target plus the
         pairwise ``link:a-b`` wire lanes the executor creates between
         them.  A fault window on any other lane name can never fire —
-        the CLI validates ``--fault-lanes`` against this set."""
-        targets = sorted(self.scheduler.targets, key=lambda p: p.value)
-        lanes = [p.value for p in targets]
-        for i, a in enumerate(targets):
-            for b in targets[i + 1 :]:
-                lanes.append("link:" + "-".join(sorted((a.value, b.value))))
-        return tuple(sorted(lanes))
+        the CLI validates ``--fault-lanes`` against this set.  Memoized
+        per registry version (:meth:`register_target` invalidates), so
+        per-call validation in serving loops costs a tuple fetch."""
+        if self._fault_lanes is None:
+            targets = sorted(self.scheduler.targets, key=lambda p: p.value)
+            lanes = [p.value for p in targets]
+            for i, a in enumerate(targets):
+                for b in targets[i + 1 :]:
+                    lanes.append(
+                        "link:" + "-".join(sorted((a.value, b.value)))
+                    )
+            self._fault_lanes = tuple(sorted(lanes))
+        return self._fault_lanes
 
     def run_many(
         self,
@@ -852,22 +944,7 @@ class NdftFramework:
                 "faults= (a FaultPlan) alongside it"
             )
         builder = pipeline_builder or build_pipeline
-        problems: dict[int, ProblemSize] = {}
-        jobs: list[tuple[ProblemSize, Pipeline, Schedule, JobSignature | None]] = []
-        for entry in batch:
-            if isinstance(entry, Pipeline):
-                problem, pipeline = entry.problem, entry
-            elif isinstance(entry, ProblemSize):
-                problem, pipeline = entry, self._build_pipeline(entry, builder)
-            else:
-                problem = problems.get(entry) if self.memoize else None
-                if problem is None:
-                    problem = problem_size(entry)
-                    problems[entry] = problem
-                pipeline = self._build_pipeline(problem, builder)
-            signature = self.job_signature(pipeline) if self.memoize else None
-            schedule = self._schedule_for(pipeline, signature)
-            jobs.append((problem, pipeline, schedule, signature))
+        jobs = self._resolve_batch(batch, builder)
 
         # Solo (dedicated-machine) makespans first: the admission
         # controller's completion estimates need them, and they are
@@ -942,6 +1019,62 @@ class NdftFramework:
             solo_times=solo_times,
             admission=admission_result,
         )
+
+    def _resolve_batch(
+        self,
+        batch: Sequence[int | ProblemSize | Pipeline],
+        builder: Callable[[ProblemSize], Pipeline],
+    ) -> list[tuple[ProblemSize, Pipeline, Schedule, JobSignature | None]]:
+        """Resolve batch entries (atom counts, problems, pipelines) into
+        scheduled jobs, deduplicating through the signature caches when
+        memoization is on.  Shared by :meth:`run_many` and
+        :meth:`job_estimates` so both see identical jobs."""
+        problems: dict[int, ProblemSize] = {}
+        jobs: list[
+            tuple[ProblemSize, Pipeline, Schedule, JobSignature | None]
+        ] = []
+        for entry in batch:
+            if isinstance(entry, Pipeline):
+                problem, pipeline = entry.problem, entry
+            elif isinstance(entry, ProblemSize):
+                problem, pipeline = entry, self._build_pipeline(entry, builder)
+            else:
+                problem = problems.get(entry) if self.memoize else None
+                if problem is None:
+                    problem = problem_size(entry)
+                    problems[entry] = problem
+                pipeline = self._build_pipeline(problem, builder)
+            signature = self.job_signature(pipeline) if self.memoize else None
+            schedule = self._schedule_for(pipeline, signature)
+            jobs.append((problem, pipeline, schedule, signature))
+        return jobs
+
+    def job_estimates(
+        self,
+        batch: Sequence[int | ProblemSize | Pipeline],
+        pipeline_builder: Callable[[ProblemSize], Pipeline] | None = None,
+    ) -> tuple[tuple[float, ...], tuple[tuple, ...]]:
+        """Per-job ``(solo_times, lanes)`` — the memoized backlog-model
+        inputs :func:`~repro.core.arrivals.plan_admission` consumes:
+        each job's dedicated-machine DES makespan and the device/wire
+        lane names its placement occupies.  The admission controller
+        and the fleet router (:mod:`repro.fleet`) share exactly these
+        estimates, so routing and shedding predict with one model, and
+        every derivation rides the ordinary signature caches (a size
+        seen before costs a lookup)."""
+        if not batch:
+            raise ValueError("job_estimates needs at least one job")
+        builder = pipeline_builder or build_pipeline
+        jobs = self._resolve_batch(batch, builder)
+        solo_times = tuple(
+            self._solo_report(pipeline, schedule, signature).total_time
+            for _p, pipeline, schedule, signature in jobs
+        )
+        lanes = tuple(
+            PipelineExecutor.schedule_lanes(schedule)
+            for _p, _pipe, schedule, _s in jobs
+        )
+        return solo_times, lanes
 
     def _run_resilient(
         self,
@@ -1344,8 +1477,14 @@ class NdftFramework:
         if schedule is None:
             structure_key = None
             if self.policy is SchedulingPolicy.COST_AWARE:
+                registry_fp, cost_fp = self.fingerprints()
                 structure_key = structure_signature(
-                    pipeline, self.policy, self.scheduler, self.cost_model
+                    pipeline,
+                    self.policy,
+                    self.scheduler,
+                    self.cost_model,
+                    registry_fp=registry_fp,
+                    cost_fp=cost_fp,
                 )
                 if excl:
                     structure_key = (structure_key, excl_key)

@@ -82,15 +82,27 @@ def job_signature(
     policy: SchedulingPolicy,
     scheduler: CostAwareScheduler,
     cost_model: OffloadCostModel,
+    *,
+    registry_fp: tuple | None = None,
+    cost_fp: tuple | None = None,
 ) -> JobSignature:
     """Mint the signature under which one job's derived artifacts are
-    memoized."""
+    memoized.
+
+    ``registry_fp`` / ``cost_fp`` accept fingerprints the caller has
+    already derived (the framework memoizes them per registry version),
+    so bulk minting doesn't re-walk the registry and link table per job.
+    """
+    if registry_fp is None:
+        registry_fp = target_registry_fingerprint(scheduler)
+    if cost_fp is None:
+        cost_fp = cost_model_fingerprint(cost_model)
     return JobSignature(
         n_atoms=pipeline.problem.n_atoms,
         pipeline_hash=pipeline.structural_hash,
         policy=policy,
-        registry_fingerprint=target_registry_fingerprint(scheduler),
-        cost_model_fingerprint=cost_model_fingerprint(cost_model),
+        registry_fingerprint=registry_fp,
+        cost_model_fingerprint=cost_fp,
     )
 
 
@@ -99,6 +111,9 @@ def structure_signature(
     policy: SchedulingPolicy,
     scheduler: CostAwareScheduler,
     cost_model: OffloadCostModel,
+    *,
+    registry_fp: tuple | None = None,
+    cost_fp: tuple | None = None,
 ) -> tuple:
     """The size-blind sibling of :func:`job_signature`.
 
@@ -118,6 +133,10 @@ def structure_signature(
         name: index
         for index, name in enumerate(pipeline.topological_order)
     }
+    if registry_fp is None:
+        registry_fp = target_registry_fingerprint(scheduler)
+    if cost_fp is None:
+        cost_fp = cost_model_fingerprint(cost_model)
     return (
         len(position),
         tuple(
@@ -125,6 +144,6 @@ def structure_signature(
             for edge in pipeline.edges
         ),
         policy,
-        target_registry_fingerprint(scheduler),
-        cost_model_fingerprint(cost_model),
+        registry_fp,
+        cost_fp,
     )

@@ -52,12 +52,18 @@ point whose uncached comparison was skipped past
 skips that gate rather than failing — absent is never a regression.
 
 Structural problems — a baseline-only (``--no-cache``) file, no shared
-batch sizes, or files measured under *different admission policies* or
+batch sizes, files measured under *different admission policies* or
 *different fault plans* (shed rates, post-shed latencies, availability
 and retry-inflated latencies from one regime cannot be trended against
 another's, mirroring the forced-backend refusal; a missing ``faults``
-key reads as faults-off) — are refused outright regardless of host
-metadata.  The comparison is deliberately
+key reads as faults-off), or files measured with *different fleet
+sizes* (``--replicas``: a 4-replica aggregate is legitimately several
+times the single-process throughput, so trending the two against each
+other produces spurious verdicts in both directions; a missing
+``replicas`` key reads as 1) — are refused outright regardless of host
+metadata.  When both files carry the *same* replica count, the fleet
+aggregate throughput rides the ordinary ``jobs_per_second_cached``
+host-class gate.  The comparison is deliberately
 coarse (default: 30 % regression, on best-of-N minima) and the verdict
 prints both files' host metadata.
 
@@ -185,6 +191,19 @@ def compare_serving_reports(
             f"fault plans ({_plan_label(faults_committed)} vs "
             f"{_plan_label(faults_fresh)}) and cannot be trended against "
             "each other"
+        ]
+    # Same refusal for the fleet size: an N-replica aggregate throughput
+    # is legitimately a multiple of the single-process number, so
+    # trending files with different --replicas counts produces spurious
+    # verdicts in both directions.  Files predating the field (no
+    # "replicas" key) read as a single replica.
+    replicas_committed = committed.get("replicas") or 1
+    replicas_fresh = fresh.get("replicas") or 1
+    if replicas_committed != replicas_fresh:
+        return [
+            "committed and fresh reports were measured with different "
+            f"fleet sizes ({replicas_committed} vs {replicas_fresh} "
+            "replicas) and cannot be trended against each other"
         ]
     failures = []
     knee_lanes = _comparable_knee_lanes(committed, fresh)

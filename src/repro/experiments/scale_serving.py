@@ -59,6 +59,7 @@ from typing import Sequence
 from repro.core.arrivals import AdmissionPolicy, poisson_arrivals
 from repro.core.faults import FaultPlan, RetryPolicy
 from repro.core.framework import NdftBatchResult, NdftFramework
+from repro.fleet import FleetResult, WorkerPool
 
 #: Default batch-size sweep (jobs per ``run_many`` call).  The top end
 #: (65536) is two orders of magnitude past the pre-``vector_replay``
@@ -241,6 +242,43 @@ class ArrivalPoint:
 
 
 @dataclass(frozen=True)
+class FleetPoint:
+    """The fleet (multi-process) breakdown of one sweep point.
+
+    Wall numbers are *sustained-serving* measurements: each serve call
+    repeats the identical simulation ``rounds`` times inside one
+    measured wall on a warm pool, so process start-up and dispatch
+    overhead amortize the way a long-running service amortizes them.
+    ``replica_jobs``/``replica_utilization`` are the router's load split
+    and each replica's share of the fleet busy span; virtual-time
+    numbers are bit-identical to a single-process run of the same
+    assignment."""
+
+    replicas: int
+    rounds: int
+    wall_seconds: float
+    jobs_per_second_wall: float
+    virtual_throughput: float
+    imbalance_ratio: float
+    replica_jobs: tuple[int, ...]
+    replica_utilization: tuple[float, ...]
+    merged_entries: int
+
+    def to_json_dict(self) -> dict:
+        return {
+            "replicas": self.replicas,
+            "rounds": self.rounds,
+            "wall_seconds": self.wall_seconds,
+            "jobs_per_second_wall": self.jobs_per_second_wall,
+            "virtual_throughput_jobs_per_second": self.virtual_throughput,
+            "imbalance_ratio": self.imbalance_ratio,
+            "replica_jobs": list(self.replica_jobs),
+            "replica_utilization": list(self.replica_utilization),
+            "merged_entries": self.merged_entries,
+        }
+
+
+@dataclass(frozen=True)
 class ServePoint:
     """One sweep point: a batch of ``batch_size`` mixed-size jobs."""
 
@@ -264,6 +302,9 @@ class ServePoint:
     #: — where the simulator's own time went, the signal the measured
     #: backend auto-tuner routes on.
     backend_wall_seconds: dict | None = None
+    #: Multi-process breakdown (``serve-bench --replicas N``); ``None``
+    #: for single-process sweeps.
+    fleet: FleetPoint | None = None
 
     @property
     def jobs_per_second_cached(self) -> float:
@@ -477,12 +518,17 @@ class ServeBenchReport:
     #: comparisons refuse mixing files measured under different plans).
     faults: FaultPlan | None = None
     retry: RetryPolicy | None = None
+    #: Worker-process replica count the sweep was measured with
+    #: (``serve-bench --replicas N``); 1 = the classic single-process
+    #: sweep.  Recorded so trend comparisons refuse mixing fleet sizes.
+    replicas: int = 1
 
     def to_json_dict(self) -> dict:
         return {
             "benchmark": "scale_serving",
             "unit": "wall-clock seconds per run_many call (best of repeats)",
             "fast_path": self.fast_path,
+            "replicas": self.replicas,
             "backend": self.backend,
             "admission": (
                 None if self.admission is None else self.admission.to_json_dict()
@@ -512,6 +558,9 @@ class ServeBenchReport:
                     "results_identical": p.results_identical,
                     "backend_jobs": p.backend_jobs,
                     "backend_wall_seconds": p.backend_wall_seconds,
+                    "fleet": (
+                        None if p.fleet is None else p.fleet.to_json_dict()
+                    ),
                     "arrival": (
                         None if p.arrival is None else p.arrival.to_json_dict()
                     ),
@@ -686,6 +735,142 @@ def run_serve_bench(
     )
 
 
+#: Identical simulations per fleet serve call (sustained-serving
+#: measurement): enough rounds that per-call routing/dispatch overhead
+#: amortizes the way a long-running service amortizes it, few enough
+#: that the smoke sweeps stay quick.
+DEFAULT_FLEET_ROUNDS = 8
+
+
+def _measure_fleet(
+    pool: WorkerPool,
+    sizes: list[int],
+    repeats: int,
+    rounds: int,
+    arrivals: Sequence[float] | None = None,
+    backend: str | None = None,
+) -> FleetResult:
+    """Best-of-``repeats`` fleet serve on a warm pool (the caller pays
+    the pool's one-time warm-up first).  Virtual-time results are
+    identical every repeat — only the measured wall varies — so the
+    returned result is simply the fastest repeat's."""
+    best: FleetResult | None = None
+    for _ in range(repeats):
+        result = pool.serve(
+            sizes, arrivals=arrivals, backend=backend, rounds=rounds
+        )
+        if best is None or result.wall_seconds < best.wall_seconds:
+            best = result
+    assert best is not None
+    return best
+
+
+def run_fleet_bench(
+    batch_sizes: tuple[int, ...] = DEFAULT_BATCH_SIZES,
+    mix: tuple[int, ...] = DEFAULT_MIX,
+    repeats: int = 3,
+    replicas: int = 2,
+    arrival_rate: float | None = DEFAULT_ARRIVAL_RATE,
+    arrival_seed: int = 0,
+    backend: str | None = None,
+    rounds: int = DEFAULT_FLEET_ROUNDS,
+) -> ServeBenchReport:
+    """The fleet (multi-process) sweep behind ``serve-bench --replicas``.
+
+    Each point serves the same round-robin mix through a
+    :class:`~repro.fleet.WorkerPool` of ``replicas`` worker processes:
+    the deterministic router splits the stream, workers start warm from
+    the shared cache snapshot, and the measured wall is sustained
+    serving (``rounds`` identical simulations per call, best of
+    ``repeats`` calls on a warm pool — the first serve, which pays
+    process start-up and cold derivation, is a discarded warm-up).
+    The classic single-process columns are reused so the trend gates
+    apply unchanged: ``wall_seconds_cached`` is the per-round fleet
+    wall, hence ``jobs_per_second_cached`` is the sustained aggregate
+    fleet throughput; the uncached comparison is skipped (fleet workers
+    are warm by construction — that is the point) and the per-point
+    ``fleet`` record carries the replica breakdown.  The open-queue
+    measurement feeds the whole fleet from one Poisson stream and
+    reports fleet-wide p50/p99.
+    """
+    if replicas < 1:
+        raise ValueError(f"replicas must be >= 1, got {replicas}")
+    if rounds < 1:
+        raise ValueError(f"rounds must be >= 1, got {rounds}")
+    points = []
+    for batch_size in batch_sizes:
+        sizes = job_mix(batch_size, mix)
+        n_distinct = len(set(sizes))
+        with WorkerPool(replicas) as pool:
+            pool.serve(sizes)  # warm-up: spawn + derivation + snapshot
+            closed = _measure_fleet(
+                pool, sizes, repeats=repeats, rounds=rounds, backend=backend
+            )
+            arrival = None
+            if arrival_rate is not None and arrival_rate > 0:
+                offsets = poisson_arrivals(
+                    len(sizes), arrival_rate, seed=arrival_seed
+                )
+                open_result = _measure_fleet(
+                    pool,
+                    sizes,
+                    repeats=repeats,
+                    rounds=rounds,
+                    arrivals=offsets,
+                    backend=backend,
+                )
+                solo_times, _lanes = pool.framework.job_estimates(sizes)
+                latencies = open_result.completion_latencies
+                queueing = sum(
+                    latency - solo
+                    for latency, solo in zip(latencies, solo_times)
+                ) / len(latencies)
+                arrival = ArrivalPoint(
+                    rate=arrival_rate,
+                    seed=arrival_seed,
+                    wall_seconds=open_result.wall_seconds / rounds,
+                    makespan=open_result.makespan,
+                    p50_latency=open_result.p50_latency,
+                    p99_latency=open_result.p99_latency,
+                    mean_queueing_delay=queueing,
+                    lane_utilization=dict(open_result.lane_utilization),
+                    admitted=open_result.n_jobs,
+                )
+        points.append(
+            ServePoint(
+                batch_size=batch_size,
+                n_distinct=n_distinct,
+                wall_seconds_cached=closed.wall_seconds / rounds,
+                wall_seconds_uncached=None,
+                makespan=closed.makespan,
+                simulated_throughput=closed.throughput,
+                results_identical=None,
+                arrival=arrival,
+                backend_jobs=dict(closed.backend_jobs),
+                backend_wall_seconds=None,
+                fleet=FleetPoint(
+                    replicas=replicas,
+                    rounds=rounds,
+                    wall_seconds=closed.wall_seconds,
+                    jobs_per_second_wall=closed.jobs_per_second_wall,
+                    virtual_throughput=closed.throughput,
+                    imbalance_ratio=closed.imbalance_ratio,
+                    replica_jobs=closed.plan.replica_job_counts,
+                    replica_utilization=closed.replica_utilization,
+                    merged_entries=closed.merged_entries,
+                ),
+            )
+        )
+    return ServeBenchReport(
+        mix=tuple(mix),
+        repeats=repeats,
+        points=tuple(points),
+        fast_path=True,
+        backend=backend,
+        replicas=replicas,
+    )
+
+
 def format_serve_bench(report: ServeBenchReport, cached: bool = True) -> str:
     mode = "fast path (memoized)" if cached else "baseline (--no-cache)"
     lines = [
@@ -695,6 +880,13 @@ def format_serve_bench(report: ServeBenchReport, cached: bool = True) -> str:
     ]
     if report.backend is not None:
         lines.append(f"forced simulation backend: {report.backend}")
+    fleet_points = [p for p in report.points if p.fleet is not None]
+    if report.replicas != 1 or fleet_points:
+        rounds = fleet_points[0].fleet.rounds if fleet_points else 1
+        lines.append(
+            f"fleet: {report.replicas} worker replicas, sustained over "
+            f"{rounds} rounds per measurement (warm pool, shared snapshot)"
+        )
     lines.append(
         f"{'batch':>6s} {'wall (s)':>10s} {'jobs/s':>10s} "
         f"{'no-cache (s)':>13s} {'speedup':>8s} {'identical':>10s} "
@@ -726,6 +918,20 @@ def format_serve_bench(report: ServeBenchReport, cached: bool = True) -> str:
             f"{p.jobs_per_second_cached:10.1f} {uncached} {speedup} "
             f"{identical:>10s} {backends:>20s}"
         )
+    if fleet_points:
+        lines.append("\nfleet breakdown (closed batches):")
+        lines.append(
+            f"{'batch':>6s} {'wall jobs/s':>12s} {'virtual jobs/s':>15s} "
+            f"{'imbalance':>10s} {'replica jobs':>20s} {'merged':>7s}"
+        )
+        for p in fleet_points:
+            f = p.fleet
+            split = "/".join(str(count) for count in f.replica_jobs)
+            lines.append(
+                f"{p.batch_size:6d} {f.jobs_per_second_wall:12.1f} "
+                f"{f.virtual_throughput:15.1f} {f.imbalance_ratio:9.3f} "
+                f"{split:>20s} {f.merged_entries:7d}"
+            )
     arrivals = [p for p in report.points if p.arrival is not None]
     if arrivals:
         rate = arrivals[0].arrival.rate

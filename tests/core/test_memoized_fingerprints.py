@@ -1,0 +1,110 @@
+"""Memoized registry/cost-model fingerprints and fault lanes.
+
+Serving-path hot loops (``job_signature`` per job, snapshot fingerprint
+checks, fault-plan lane validation) used to re-walk the target registry
+and cost model on every call.  Both derivations are now computed once
+per registry version and invalidated by ``register_target`` /
+``clear_caches`` — these tests pin the cache-hit behavior and the
+invalidation edges.
+"""
+
+import repro.core.framework as framework_module
+from repro.core.framework import NdftFramework
+from repro.core.scheduler import Placement
+
+
+class TestFingerprintMemo:
+    def test_fingerprints_cache_hit(self):
+        framework = NdftFramework()
+        assert framework.fingerprints() is framework.fingerprints()
+
+    def test_job_signature_mints_fingerprints_once(self, monkeypatch):
+        """A batch of signatures costs one registry walk and one
+        cost-model walk, total — the serving fast path's per-job cost
+        is a tuple hash, not a re-derivation."""
+        framework = NdftFramework()
+        calls = {"registry": 0, "cost": 0}
+        real_registry = framework_module.target_registry_fingerprint
+        real_cost = framework_module.cost_model_fingerprint
+
+        def counting_registry(scheduler):
+            calls["registry"] += 1
+            return real_registry(scheduler)
+
+        def counting_cost(cost_model):
+            calls["cost"] += 1
+            return real_cost(cost_model)
+
+        monkeypatch.setattr(
+            framework_module,
+            "target_registry_fingerprint",
+            counting_registry,
+        )
+        monkeypatch.setattr(
+            framework_module, "cost_model_fingerprint", counting_cost
+        )
+        framework.run_many([64, 128, 512, 1024])
+        framework.cache_fingerprint()
+        assert calls == {"registry": 1, "cost": 1}
+
+    def test_register_target_invalidates(self, ndp_model):
+        framework = NdftFramework()
+        before = framework.fingerprints()
+        framework.register_target(Placement.NDP, ndp_model)
+        after = framework.fingerprints()
+        assert after is not before
+        assert after != before  # the registration counter advanced
+
+    def test_clear_caches_resets_memo(self):
+        framework = NdftFramework()
+        before = framework.fingerprints()
+        framework.clear_caches()
+        after = framework.fingerprints()
+        assert after is not before
+        assert after == before  # same registry -> equal value, new mint
+
+    def test_memo_matches_direct_derivation(self):
+        framework = NdftFramework()
+        registry_fp, cost_fp = framework.fingerprints()
+        assert registry_fp == framework_module.target_registry_fingerprint(
+            framework.scheduler
+        )
+        assert cost_fp == framework_module.cost_model_fingerprint(
+            framework.cost_model
+        )
+
+
+class TestFaultLanesMemo:
+    def test_fault_lanes_cache_hit(self):
+        framework = NdftFramework()
+        assert framework.fault_lanes() is framework.fault_lanes()
+
+    def test_register_target_invalidates(self, ndp_model):
+        framework = NdftFramework()
+        before = framework.fault_lanes()
+        framework.register_target(Placement.NDP, ndp_model)
+        after = framework.fault_lanes()
+        assert after is not before
+        assert set(after) == set(before)  # same placements re-registered
+
+    def test_clear_caches_resets_memo(self):
+        framework = NdftFramework()
+        before = framework.fault_lanes()
+        framework.clear_caches()
+        after = framework.fault_lanes()
+        assert after is not before
+        assert after == before
+
+
+class TestMemoOffStillCorrect:
+    def test_memoize_false_framework_keeps_identity_caches(self):
+        """memoize=False disables the *result* caches, but identity
+        digests (fingerprints, fault lanes) are registry facts, not
+        results: they stay memoized and stay correct."""
+        framework = NdftFramework(memoize=False)
+        assert framework.fingerprints() is framework.fingerprints()
+        assert framework.fault_lanes() is framework.fault_lanes()
+        assert (
+            framework.cache_fingerprint()
+            == NdftFramework().cache_fingerprint()
+        )

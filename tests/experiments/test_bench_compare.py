@@ -212,6 +212,37 @@ class TestCompareServingReports:
         explicit_off = dict(_report([(16, 990.0)]), faults=None)
         assert compare_serving_reports(healthy, explicit_off) == []
 
+    def test_mismatched_replica_counts_are_refused(self):
+        """A fleet aggregate (--replicas N) is legitimately a multiple
+        of the single-process throughput: trending across different
+        fleet sizes is refused like mismatched forced backends.  A file
+        predating the field (no "replicas" key) reads as one replica."""
+        solo = _report([(16, 1000.0)])
+        fleet = dict(_report([(16, 3600.0)]), replicas=4)
+        for committed, fresh in ((solo, fleet), (fleet, solo)):
+            failures = compare_serving_reports(committed, fresh)
+            assert failures and "fleet sizes" in failures[0]
+            assert "cannot be trended" in failures[0]
+        assert "1 vs 4 replicas" in compare_serving_reports(solo, fleet)[0]
+        # Two files at the same fleet size trend normally — including
+        # the ordinary throughput gate over the fleet aggregate.
+        same_fleet = dict(_report([(16, 3500.0)]), replicas=4)
+        assert compare_serving_reports(fleet, same_fleet) == []
+        regressed = dict(_report([(16, 1000.0)]), replicas=4)
+        failures = compare_serving_reports(fleet, regressed)
+        assert len(failures) == 1 and "throughput" in failures[0]
+        # A different fleet size is still a mismatch.
+        other_fleet = dict(_report([(16, 1800.0)]), replicas=2)
+        assert compare_serving_reports(fleet, other_fleet)
+
+    def test_explicit_single_replica_matches_legacy_files(self):
+        """replicas: 1 (a fresh single-process run) trends against a
+        legacy file without the key."""
+        legacy = _report([(16, 1000.0)])
+        explicit = dict(_report([(16, 990.0)]), replicas=1)
+        assert compare_serving_reports(legacy, explicit) == []
+        assert compare_serving_reports(explicit, legacy) == []
+
     @staticmethod
     def _resilient(jps, availability, goodput, rate=2.0, seed=0, digest="abc123"):
         report = dict(
