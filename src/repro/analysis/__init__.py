@@ -1,0 +1,47 @@
+"""Repo-native invariant analyzer (``python -m repro lint``).
+
+The paper's software half is a static analyzer deciding what is safe
+to offload; this package points the same technique at the reproduction
+itself.  Five AST/import-graph rules enforce the invariants the last
+nine PRs established — bottom-up layering, seeded virtual-time
+determinism, the backend decline contract, hot-loop ``__slots__``
+hygiene, and the :mod:`repro.errors` exception discipline — on every
+commit, the way ruff enforces style.
+
+See :mod:`repro.analysis.rules` for the rule set and the explicit
+allowlists, :mod:`repro.analysis.project` for the layer map, and
+:mod:`repro.analysis.runner` for the CLI and baseline semantics.
+"""
+
+from repro.analysis.findings import Context, Finding, ModuleInfo, Rule
+from repro.analysis.graph import ImportEdge, ImportGraph
+from repro.analysis.project import LAYER_ORDER, ProjectModel
+from repro.analysis.rules import (
+    BackendContractRule,
+    DeterminismRule,
+    ErrorDisciplineRule,
+    LayeringRule,
+    RuleConfig,
+    SlotsRule,
+    default_rules,
+)
+from repro.analysis.runner import run_analysis
+
+__all__ = [
+    "BackendContractRule",
+    "Context",
+    "DeterminismRule",
+    "ErrorDisciplineRule",
+    "Finding",
+    "ImportEdge",
+    "ImportGraph",
+    "LAYER_ORDER",
+    "LayeringRule",
+    "ModuleInfo",
+    "ProjectModel",
+    "Rule",
+    "RuleConfig",
+    "SlotsRule",
+    "default_rules",
+    "run_analysis",
+]

@@ -1,0 +1,97 @@
+"""Finding and rule framework for the repo-native invariant analyzer.
+
+The analyzer turns the paper's static-analysis idea inward: the same
+repository that reproduces an SCA for offload safety checks its *own*
+invariants (layering, determinism, backend contract, hot-loop hygiene,
+error discipline) with an AST walk instead of relying on test authors
+to remember each one.
+
+A rule is any object satisfying :class:`Rule`: it exposes a stable
+``id``, a ``severity`` (``"error"`` or ``"warning"``), and a
+``check(module, graph, context)`` hook returning :class:`Finding`
+objects.  Rules never mutate the module or the graph; the runner owns
+collection, baseline suppression, and output formatting.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Protocol, runtime_checkable
+
+if TYPE_CHECKING:
+    from repro.analysis.graph import ImportGraph
+    from repro.analysis.project import ProjectModel
+
+SEVERITIES = ("error", "warning")
+
+
+@dataclass(frozen=True, slots=True)
+class Finding:
+    """One invariant violation at a concrete source location."""
+
+    rule: str
+    severity: str
+    path: str
+    line: int
+    message: str
+    hint: str
+
+    def key(self) -> tuple[str, str, str]:
+        """Stable identity used for baseline suppression.
+
+        Line numbers are deliberately excluded so an unrelated edit
+        above a grandfathered finding does not un-suppress it.
+        """
+        return (self.rule, self.path, self.message)
+
+    def to_dict(self) -> dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "message": self.message,
+            "hint": self.hint,
+        }
+
+    def render(self) -> str:
+        return (
+            f"{self.path}:{self.line}: [{self.rule}] {self.message}"
+            f"\n    hint: {self.hint}"
+        )
+
+
+@dataclass(frozen=True, slots=True)
+class ModuleInfo:
+    """One parsed source file handed to every rule."""
+
+    name: str
+    path: str
+    tree: ast.Module
+
+
+@dataclass(slots=True)
+class Context:
+    """Shared analysis state each rule receives alongside the module."""
+
+    project: "ProjectModel"
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+
+    def module(self, name: str) -> ModuleInfo | None:
+        return self.modules.get(name)
+
+
+@runtime_checkable
+class Rule(Protocol):
+    """Contract every invariant rule implements."""
+
+    id: str
+    severity: str
+
+    def check(
+        self,
+        module: ModuleInfo,
+        graph: "ImportGraph",
+        context: Context,
+    ) -> list[Finding]: ...

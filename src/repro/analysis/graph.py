@@ -1,0 +1,150 @@
+"""Import graph extracted from module ASTs.
+
+Unlike ``importlib``-based approaches, the graph is built purely from
+source text, so it sees *every* import: module scope, function-local
+("lazy") imports used to break cycles or defer heavy dependencies, and
+``if TYPE_CHECKING:`` blocks.  Each edge records enough provenance for
+rules to treat those categories differently — the layering rule, for
+instance, ignores type-checking-only edges (they are erased at
+runtime) but deliberately includes lazy imports, because a lazy upward
+import is still an upward dependency once the function runs.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+
+from repro.analysis.findings import ModuleInfo
+
+
+@dataclass(frozen=True, slots=True)
+class ImportEdge:
+    """One import statement, resolved to the deepest known module."""
+
+    source: str
+    target: str
+    line: int
+    lazy: bool
+    type_checking: bool
+
+
+def _is_type_checking_test(test: ast.expr) -> bool:
+    if isinstance(test, ast.Name):
+        return test.id == "TYPE_CHECKING"
+    if isinstance(test, ast.Attribute):
+        return test.attr == "TYPE_CHECKING"
+    return False
+
+
+@dataclass(slots=True)
+class ImportGraph:
+    """All import edges between the scanned modules."""
+
+    modules: dict[str, ModuleInfo] = field(default_factory=dict)
+    edges: dict[str, tuple[ImportEdge, ...]] = field(default_factory=dict)
+
+    @classmethod
+    def build(cls, modules: dict[str, ModuleInfo]) -> "ImportGraph":
+        graph = cls(modules=dict(modules))
+        known = set(graph.modules)
+        for name, info in graph.modules.items():
+            collector = _ImportCollector(info, known)
+            collector.visit(info.tree)
+            graph.edges[name] = tuple(collector.edges)
+        return graph
+
+    def imports_of(self, module: str) -> tuple[ImportEdge, ...]:
+        return self.edges.get(module, ())
+
+    def importers_of(self, module: str) -> tuple[str, ...]:
+        """Modules with at least one runtime edge onto ``module``."""
+        hits = []
+        for source, edges in sorted(self.edges.items()):
+            for edge in edges:
+                if edge.type_checking:
+                    continue
+                if edge.target == module or edge.target.startswith(
+                    module + "."
+                ):
+                    hits.append(source)
+                    break
+        return tuple(hits)
+
+
+class _ImportCollector(ast.NodeVisitor):
+    """Walk one module and record every import with provenance flags."""
+
+    def __init__(self, info: ModuleInfo, known: set[str]) -> None:
+        self.info = info
+        self.known = known
+        self.edges: list[ImportEdge] = []
+        self._function_depth = 0
+        self._type_checking_depth = 0
+        is_package = info.path.endswith("__init__.py")
+        parts = info.name.split(".") if info.name else []
+        self._package_parts = parts if is_package else parts[:-1]
+
+    # -- scope tracking -------------------------------------------------
+    def visit_FunctionDef(self, node: ast.FunctionDef) -> None:
+        self._function_depth += 1
+        self.generic_visit(node)
+        self._function_depth -= 1
+
+    def visit_AsyncFunctionDef(self, node: ast.AsyncFunctionDef) -> None:
+        self._function_depth += 1
+        self.generic_visit(node)
+        self._function_depth -= 1
+
+    def visit_If(self, node: ast.If) -> None:
+        if _is_type_checking_test(node.test):
+            self._type_checking_depth += 1
+            for child in node.body:
+                self.visit(child)
+            self._type_checking_depth -= 1
+            for child in node.orelse:
+                self.visit(child)
+            return
+        self.generic_visit(node)
+
+    # -- imports --------------------------------------------------------
+    def _add(self, target: str, line: int) -> None:
+        self.edges.append(
+            ImportEdge(
+                source=self.info.name,
+                target=target,
+                line=line,
+                lazy=self._function_depth > 0,
+                type_checking=self._type_checking_depth > 0,
+            )
+        )
+
+    def visit_Import(self, node: ast.Import) -> None:
+        for alias in node.names:
+            self._add(alias.name, node.lineno)
+
+    def visit_ImportFrom(self, node: ast.ImportFrom) -> None:
+        base = self._resolve_base(node)
+        if base is None:
+            return
+        for alias in node.names:
+            candidate = f"{base}.{alias.name}" if base else alias.name
+            if candidate in self.known:
+                self._add(candidate, node.lineno)
+            elif base:
+                self._add(base, node.lineno)
+            else:
+                self._add(alias.name, node.lineno)
+
+    def _resolve_base(self, node: ast.ImportFrom) -> str | None:
+        if node.level == 0:
+            return node.module or ""
+        parts = list(self._package_parts)
+        drop = node.level - 1
+        if drop > len(parts):
+            return None
+        if drop:
+            parts = parts[:-drop]
+        if node.module:
+            parts.extend(node.module.split("."))
+        return ".".join(parts)

@@ -1,0 +1,135 @@
+"""Project model: map repository files onto the ROADMAP's layer stack.
+
+The ROADMAP describes the reproduction as a bottom-up stack — model/IR
+at the bottom, then DFT workloads, pipeline, machine models, scheduler,
+simulation backends, the user-facing framework, the fleet serving
+layer, and the experiment/CLI harness on top.  The layering rule
+enforces that imports only point downward (or sideways within one
+band).
+
+The assignment below is file-granular because ``core/`` and ``hw/``
+each straddle several bands: ``core/ir.py`` is foundation material
+while ``core/framework.py`` sits near the top, and ``hw/config.py`` is
+a passive machine description while ``hw/engine.py`` is the discrete
+event simulator itself.  Facade ``__init__`` modules live at the band
+of the highest module they re-export.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+
+#: Ordered bottom-up band names; the index is the ordinal used by the
+#: layering rule (imports may only target an equal or lower ordinal).
+LAYER_ORDER: tuple[str, ...] = (
+    "foundation",
+    "workloads",
+    "pipeline",
+    "machines",
+    "scheduler",
+    "simulation",
+    "framework",
+    "fleet",
+    "harness",
+)
+
+#: Exact module -> band.  Consulted before the prefix table.
+MODULE_LAYERS: dict[str, str] = {
+    "repro.errors": "foundation",
+    "repro.units": "foundation",
+    "repro.model": "foundation",
+    "repro.stats": "foundation",
+    "repro.core.ir": "foundation",
+    "repro.core.pipeline": "pipeline",
+    "repro.core.cost_model": "scheduler",
+    "repro.core.scheduler": "scheduler",
+    "repro.core.sca": "scheduler",
+    "repro.hw.engine": "simulation",
+    "repro.hw.vector_replay": "simulation",
+    "repro.hw": "simulation",
+    "repro.core.backends": "simulation",
+    "repro.core.executor": "simulation",
+    "repro.core.trace": "simulation",
+    "repro.core.faults": "simulation",
+    "repro.core.framework": "framework",
+    "repro.core.signature": "framework",
+    "repro.core.lru": "framework",
+    "repro.core.arrivals": "framework",
+    "repro.core.baselines": "framework",
+    "repro.core": "framework",
+    "repro": "framework",
+    "repro.cli": "harness",
+    "repro.__main__": "harness",
+}
+
+#: Package prefix -> band, for subtrees that live in one band entirely.
+PREFIX_LAYERS: dict[str, str] = {
+    "repro.dft": "workloads",
+    "repro.workloads": "workloads",
+    "repro.parallel": "workloads",
+    "repro.hw": "machines",
+    "repro.shmem": "machines",
+    "repro.fleet": "fleet",
+    "repro.experiments": "harness",
+    "repro.analysis": "harness",
+}
+
+
+@dataclass(slots=True)
+class ProjectModel:
+    """Resolve file paths to module names and modules to layer bands."""
+
+    root: Path
+    layer_order: tuple[str, ...] = LAYER_ORDER
+    module_layers: dict[str, str] = field(
+        default_factory=lambda: dict(MODULE_LAYERS)
+    )
+    prefix_layers: dict[str, str] = field(
+        default_factory=lambda: dict(PREFIX_LAYERS)
+    )
+
+    def module_name(self, path: Path | str) -> str:
+        """Dotted module name for ``path``, relative to the repo root.
+
+        ``src/`` is treated as a source root (``src/repro/hw/engine.py``
+        -> ``repro.hw.engine``); other trees keep their directory name
+        as the top-level package (``tests/core/test_x.py`` ->
+        ``tests.core.test_x``) so non-package files still get a stable,
+        unique name.
+        """
+        rel = Path(path)
+        if rel.is_absolute():
+            try:
+                rel = rel.relative_to(self.root)
+            except ValueError:
+                rel = Path(rel.name)
+        parts = list(rel.with_suffix("").parts)
+        if parts and parts[0] == "src":
+            parts = parts[1:]
+        if parts and parts[-1] == "__init__":
+            parts = parts[:-1]
+        return ".".join(parts)
+
+    def layer_of(self, module: str) -> str | None:
+        """Band name for ``module``, or ``None`` when out of scope.
+
+        Exact entries win over prefix entries, and only for the exact
+        module: ``repro.hw`` (a facade that re-exports the engine) sits
+        in ``simulation`` while ``repro.hw.config`` falls through to
+        the ``repro.hw`` *prefix* entry in ``machines``.
+        """
+        if module in self.module_layers:
+            return self.module_layers[module]
+        probe = module
+        while probe:
+            if probe in self.prefix_layers:
+                return self.prefix_layers[probe]
+            probe = probe.rpartition(".")[0]
+        return None
+
+    def ordinal_of(self, module: str) -> int | None:
+        layer = self.layer_of(module)
+        if layer is None:
+            return None
+        return self.layer_order.index(layer)

@@ -1,0 +1,262 @@
+"""Collection, baseline suppression, and CLI entry for the analyzer.
+
+``python -m repro lint [paths...]`` parses every ``*.py`` file under
+the given paths (default: ``src``), builds the import graph, runs the
+rule set, subtracts baseline-suppressed findings, and prints the rest
+as text or JSON.  Exit status is 0 when nothing (non-suppressed)
+fired, 1 otherwise, 2 on usage errors.
+
+The baseline (``.invariant-baseline.json``, committed) exists so a
+rule can land before the last grandfathered violation is fixed; the
+repo's own baseline is **empty** — the self-check test keeps it that
+way.  Baseline entries match on ``(rule, path, message)``, not line
+numbers, so unrelated edits do not un-suppress a grandfathered
+finding.
+"""
+
+from __future__ import annotations
+
+import argparse
+import ast
+import json
+import sys
+from pathlib import Path
+
+from repro.analysis.findings import Context, Finding, ModuleInfo
+from repro.analysis.graph import ImportGraph
+from repro.analysis.project import ProjectModel
+from repro.analysis.rules import RuleConfig, default_rules
+from repro.errors import AnalysisError
+
+BASELINE_NAME = ".invariant-baseline.json"
+
+
+def collect_modules(
+    root: Path, paths: list[Path], project: ProjectModel
+) -> dict[str, ModuleInfo]:
+    """Parse every ``*.py`` file under ``paths`` into :class:`ModuleInfo`."""
+    files: list[Path] = []
+    for path in paths:
+        resolved = path if path.is_absolute() else root / path
+        if resolved.is_dir():
+            files.extend(
+                p
+                for p in sorted(resolved.rglob("*.py"))
+                if "__pycache__" not in p.relative_to(resolved).parts
+                and not any(
+                    part.startswith(".")
+                    for part in p.relative_to(resolved).parts
+                )
+            )
+        elif resolved.is_file():
+            files.append(resolved)
+        else:
+            raise AnalysisError(f"no such file or directory: {path}")
+    modules: dict[str, ModuleInfo] = {}
+    for file in files:
+        try:
+            rel = file.relative_to(root)
+        except ValueError:
+            rel = Path(file.name)
+        name = project.module_name(rel)
+        try:
+            tree = ast.parse(file.read_text(encoding="utf-8"))
+        except SyntaxError as exc:
+            raise AnalysisError(
+                f"cannot parse {rel}: {exc.msg} (line {exc.lineno})"
+            ) from exc
+        modules[name] = ModuleInfo(
+            name=name, path=rel.as_posix(), tree=tree
+        )
+    return modules
+
+
+def run_analysis(
+    root: Path,
+    paths: list[Path] | None = None,
+    rules: list[object] | None = None,
+    config: RuleConfig | None = None,
+) -> list[Finding]:
+    """Run ``rules`` over the modules under ``paths`` and return all
+    findings, sorted by location (baseline not applied)."""
+    project = ProjectModel(root=root)
+    modules = collect_modules(root, paths or [Path("src")], project)
+    graph = ImportGraph.build(modules)
+    context = Context(project=project, modules=modules)
+    active = rules if rules is not None else default_rules(config)
+    findings: list[Finding] = []
+    for name in sorted(modules):
+        for rule in active:
+            findings.extend(rule.check(modules[name], graph, context))
+    findings.sort(key=lambda f: (f.path, f.line, f.rule, f.message))
+    return findings
+
+
+# -- baseline ----------------------------------------------------------
+
+
+def load_baseline(path: Path) -> set[tuple[str, str, str]]:
+    if not path.exists():
+        return set()
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except json.JSONDecodeError as exc:
+        raise AnalysisError(f"malformed baseline {path}: {exc}") from exc
+    entries = payload.get("suppressions", [])
+    return {
+        (entry["rule"], entry["path"], entry["message"])
+        for entry in entries
+    }
+
+
+def write_baseline(path: Path, findings: list[Finding]) -> None:
+    payload = {
+        "version": 1,
+        "suppressions": [
+            {"rule": f.rule, "path": f.path, "message": f.message}
+            for f in findings
+        ],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2) + "\n", encoding="utf-8"
+    )
+
+
+def apply_baseline(
+    findings: list[Finding], baseline: set[tuple[str, str, str]]
+) -> tuple[list[Finding], int]:
+    """Split findings into (active, suppressed-count)."""
+    active = [f for f in findings if f.key() not in baseline]
+    return active, len(findings) - len(active)
+
+
+# -- CLI ---------------------------------------------------------------
+
+
+def _parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro lint",
+        description=(
+            "Repo-native invariant analyzer: layering, determinism, "
+            "backend contract, hot-loop hygiene, error discipline."
+        ),
+    )
+    parser.add_argument(
+        "paths",
+        nargs="*",
+        default=["src"],
+        help="files or directories to analyze (default: src)",
+    )
+    parser.add_argument(
+        "--format",
+        choices=("text", "json"),
+        default="text",
+        help="report format (default: text)",
+    )
+    parser.add_argument(
+        "--rules",
+        default=None,
+        help="comma-separated rule ids to run (default: all)",
+    )
+    parser.add_argument(
+        "--baseline",
+        default=BASELINE_NAME,
+        help=f"baseline file (default: {BASELINE_NAME})",
+    )
+    parser.add_argument(
+        "--write-baseline",
+        action="store_true",
+        help="write current findings to the baseline file and exit 0",
+    )
+    parser.add_argument(
+        "--output",
+        default=None,
+        help="also write the report to this file",
+    )
+    parser.add_argument(
+        "--root",
+        default=".",
+        help="repository root (default: current directory)",
+    )
+    return parser
+
+
+def _render(
+    findings: list[Finding],
+    suppressed: int,
+    fmt: str,
+    rule_ids: list[str],
+) -> str:
+    if fmt == "json":
+        return json.dumps(
+            {
+                "findings": [f.to_dict() for f in findings],
+                "count": len(findings),
+                "suppressed": suppressed,
+                "rules": rule_ids,
+            },
+            indent=2,
+        )
+    lines = [f.render() for f in findings]
+    summary = f"{len(findings)} finding(s)"
+    if suppressed:
+        summary += f", {suppressed} suppressed by baseline"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _parser().parse_args(argv)
+    root = Path(args.root).resolve()
+    config = RuleConfig()
+    rules = default_rules(config)
+    if args.rules:
+        wanted = {r.strip() for r in args.rules.split(",") if r.strip()}
+        known = {rule.id for rule in rules}
+        unknown = wanted - known
+        if unknown:
+            print(
+                "unknown rule id(s): "
+                + ", ".join(sorted(unknown))
+                + "; known: "
+                + ", ".join(sorted(known)),
+                file=sys.stderr,
+            )
+            return 2
+        rules = [rule for rule in rules if rule.id in wanted]
+    try:
+        findings = run_analysis(
+            root,
+            [Path(p) for p in args.paths],
+            rules=rules,
+            config=config,
+        )
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    baseline_path = Path(args.baseline)
+    if not baseline_path.is_absolute():
+        baseline_path = root / baseline_path
+    if args.write_baseline:
+        write_baseline(baseline_path, findings)
+        print(
+            f"wrote {len(findings)} suppression(s) to {baseline_path}"
+        )
+        return 0
+    try:
+        baseline = load_baseline(baseline_path)
+    except AnalysisError as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+    active, suppressed = apply_baseline(findings, baseline)
+    report = _render(
+        active, suppressed, args.format, [rule.id for rule in rules]
+    )
+    print(report)
+    if args.output:
+        Path(args.output).write_text(report + "\n", encoding="utf-8")
+    return 1 if active else 0
+
+
+if __name__ == "__main__":  # pragma: no cover - exercised via CLI
+    sys.exit(main())

@@ -21,10 +21,17 @@ Regenerates any of the paper's artifacts from a shell:
     python -m repro serve-bench --shock-rate 0.1 --slowdown-factor 2 --checkpoint
     python -m repro serve-bench --replicas 4      # multi-process fleet serving
     python -m repro all           # everything, in paper order
+    python -m repro lint          # repo-native invariant analyzer
+    python -m repro lint src tests benchmarks --format json
 
 ``serve-bench`` is excluded from ``all``: it measures wall-clock time of
 this machine rather than a paper artifact, so its output is not
 reproducible across hosts.
+
+``lint`` is not an artifact either: it runs the
+:mod:`repro.analysis` invariant analyzer (layering, determinism,
+backend contract, ``__slots__`` hygiene, error discipline) and exits
+non-zero on findings — see the README's "Invariant lint" section.
 """
 
 from __future__ import annotations
@@ -372,13 +379,21 @@ _EXCLUDED_FROM_ALL = frozenset({"serve-bench"})
 
 
 def main(argv: list[str] | None = None) -> int:
+    arguments = sys.argv[1:] if argv is None else argv
+    if arguments and arguments[0] == "lint":
+        # The invariant analyzer has its own flag set (paths, --format,
+        # --rules, --baseline, ...); hand the rest of argv straight to
+        # its parser instead of threading it through the artifact one.
+        from repro.analysis.runner import main as lint_main
+
+        return lint_main(arguments[1:])
     parser = argparse.ArgumentParser(
         prog="repro",
         description="Regenerate the NDFT paper's tables and figures.",
     )
     parser.add_argument(
         "artifact",
-        choices=sorted(_COMMANDS) + ["all"],
+        choices=[*sorted(_COMMANDS), "all"],
         help="which artifact to regenerate",
     )
     parser.add_argument(

@@ -44,6 +44,11 @@ class SimulationError(ReproError):
     """The discrete-event engine reached an inconsistent state."""
 
 
+class AnalysisError(ReproError):
+    """The invariant analyzer (``python -m repro lint``) could not run
+    — unreadable path, unparsable source, or malformed baseline."""
+
+
 class PhysicsError(ReproError):
     """A DFT/LR-TDDFT computation produced an invalid result (e.g. a
     non-Hermitian response matrix or negative excitation energy)."""
