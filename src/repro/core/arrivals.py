@@ -44,6 +44,20 @@ from typing import Sequence
 
 import numpy as np
 
+# Re-exported from the foundation layer so existing callers keep this
+# import path; the implementation lives in repro.stats, low enough for
+# the simulation layer (core/faults.py) to use without importing upward.
+from repro.stats import percentile
+
+__all__ = [
+    "ADMISSION_MODES",
+    "AdmissionDecision",
+    "AdmissionPolicy",
+    "percentile",
+    "plan_admission",
+    "poisson_arrivals",
+]
+
 
 def _mt_seed_key(seed: int) -> list[int]:
     """The init-by-array key CPython derives from an int seed.
@@ -292,17 +306,3 @@ def plan_admission(
     return tuple(decisions)  # type: ignore[arg-type]
 
 
-def percentile(values: Sequence[float], q: float) -> float:
-    """The ``q``-th percentile (0..100) with linear interpolation."""
-    if not values:
-        raise ValueError("percentile of an empty sequence")
-    if not 0.0 <= q <= 100.0:
-        raise ValueError(f"percentile must be in [0, 100], got {q}")
-    ordered = sorted(values)
-    if len(ordered) == 1:
-        return ordered[0]
-    rank = (len(ordered) - 1) * (q / 100.0)
-    low = int(rank)
-    high = min(low + 1, len(ordered) - 1)
-    fraction = rank - low
-    return ordered[low] + (ordered[high] - ordered[low]) * fraction

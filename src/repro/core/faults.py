@@ -54,6 +54,7 @@ from dataclasses import dataclass, field
 
 from repro.errors import ConfigError
 from repro.hw.engine import resolve_degraded_service
+from repro.stats import percentile
 
 __all__ = [
     "FaultPlan",
@@ -689,8 +690,6 @@ class ResilienceReport:
         )
 
     def _latency_percentile(self, q: float) -> float:
-        from repro.core.arrivals import percentile
-
         latencies = self.post_fault_latencies
         if not latencies:
             return 0.0

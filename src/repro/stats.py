@@ -1,0 +1,29 @@
+"""Seed-free statistical helpers shared across the stack.
+
+Foundation-layer home for :func:`percentile`, which both the arrival
+process summaries (framework layer) and the fault-injection latency
+accounting (simulation layer) need.  Keeping it here lets the
+simulation layer use it without importing upward into
+:mod:`repro.core.arrivals` — the invariant analyzer's layering rule
+enforces exactly that.
+"""
+
+from __future__ import annotations
+
+from collections.abc import Sequence
+
+
+def percentile(values: Sequence[float], q: float) -> float:
+    """The ``q``-th percentile (0..100) with linear interpolation."""
+    if not values:
+        raise ValueError("percentile of an empty sequence")
+    if not 0.0 <= q <= 100.0:
+        raise ValueError(f"percentile must be in [0, 100], got {q}")
+    ordered = sorted(values)
+    if len(ordered) == 1:
+        return ordered[0]
+    rank = (len(ordered) - 1) * (q / 100.0)
+    low = int(rank)
+    high = min(low + 1, len(ordered) - 1)
+    fraction = rank - low
+    return ordered[low] + (ordered[high] - ordered[low]) * fraction
