@@ -70,7 +70,7 @@ def lane_name(key: object) -> str:
     return str(key)
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ExecutionReport:
     """Result of executing one pipeline under one schedule.
 
@@ -104,7 +104,7 @@ class ExecutionReport:
         return out
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class ShardTiming:
     """Wall-clock accounting for one simulated contention shard.
 
@@ -126,7 +126,7 @@ class ShardTiming:
     is_chain: bool
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class BatchExecutionReport:
     """Result of executing a batch of jobs on one shared machine.
 
@@ -290,6 +290,8 @@ class BackendTuner:
     warmed service skips re-exploration.
     """
 
+    __slots__ = ("_samples",)
+
     def __init__(self) -> None:
         #: bucket -> backend name -> [wall seconds total, jobs total].
         self._samples: dict[int, dict[str, list[float]]] = {}
@@ -449,7 +451,7 @@ class _RunFaultState:
             self.kind = kind
 
 
-@dataclass
+@dataclass(slots=True)
 class PipelineExecutor:
     """Runs scheduled pipelines through the discrete-event engine."""
 
