@@ -937,7 +937,7 @@ class NdftFramework:
         bit-identical to no plan across every backend.
         """
         if not batch:
-            raise ValueError("run_many needs at least one job")
+            raise ConfigError("run_many needs at least one job")
         if retry is not None and faults is None:
             raise ConfigError(
                 "retry= only makes sense under fault injection: pass "
@@ -1063,7 +1063,7 @@ class NdftFramework:
         every derivation rides the ordinary signature caches (a size
         seen before costs a lookup)."""
         if not batch:
-            raise ValueError("job_estimates needs at least one job")
+            raise ConfigError("job_estimates needs at least one job")
         builder = pipeline_builder or build_pipeline
         jobs = self._resolve_batch(batch, builder)
         solo_times = tuple(
@@ -1432,7 +1432,7 @@ class NdftFramework:
             elif n_atoms is not None:
                 problem = problem_size(n_atoms)
             else:
-                raise ValueError("pass n_atoms, problem or pipeline")
+                raise ConfigError("pass n_atoms, problem or pipeline")
         return problem, pipeline or self._build_pipeline(problem, build_pipeline)
 
     def _build_pipeline(

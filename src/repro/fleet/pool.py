@@ -203,7 +203,7 @@ class WorkerPool:
                 )
             sizes.append(entry)
         if not sizes:
-            raise ValueError("serve needs at least one job")
+            raise ConfigError("serve needs at least one job")
         if arrivals is not None:
             arrivals = tuple(float(offset) for offset in arrivals)
             if len(arrivals) != len(sizes):

@@ -24,6 +24,8 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Sequence
 
+from repro.errors import ConfigError
+
 
 @dataclass(frozen=True)
 class RoutingPlan:
@@ -77,12 +79,12 @@ def route_jobs(
     :meth:`repro.core.framework.NdftFramework.job_estimates`.
     """
     if n_replicas < 1:
-        raise ValueError(f"n_replicas must be >= 1, got {n_replicas}")
+        raise ConfigError(f"n_replicas must be >= 1, got {n_replicas}")
     n = len(solo_times)
     if arrivals is None:
         arrivals = [0.0] * n
     if not (len(arrivals) == len(lanes) == n):
-        raise ValueError(
+        raise ConfigError(
             "arrivals, solo_times and lanes must align: got "
             f"{len(arrivals)}/{n}/{len(lanes)}"
         )

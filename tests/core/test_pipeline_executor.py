@@ -72,7 +72,7 @@ class TestFramework:
         assert result.total_time > 0
 
     def test_requires_problem_or_atoms(self, framework):
-        with pytest.raises(ValueError):
+        with pytest.raises(ConfigError):
             framework.run()
 
     def test_sca_reports_for_all_stages(self, framework):

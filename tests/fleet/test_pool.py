@@ -202,7 +202,7 @@ class TestServeValidation:
 
     def test_rejects_empty_batch(self):
         with WorkerPool(1, inline=True) as pool:
-            with pytest.raises(ValueError, match="at least one job"):
+            with pytest.raises(ConfigError, match="at least one job"):
                 pool.serve([])
 
     def test_rejects_non_int_entries(self):

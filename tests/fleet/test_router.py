@@ -9,6 +9,7 @@ import pytest
 
 from repro.core.arrivals import poisson_arrivals
 from repro.core.framework import NdftFramework
+from repro.errors import ConfigError
 from repro.experiments.scale_serving import job_mix
 from repro.fleet import route_jobs
 
@@ -125,12 +126,12 @@ class TestRouteJobsBalancing:
 class TestRouteJobsValidation:
     def test_rejects_nonpositive_replicas(self, estimates):
         solo_times, lanes = estimates
-        with pytest.raises(ValueError, match="n_replicas"):
+        with pytest.raises(ConfigError, match="n_replicas"):
             route_jobs(0, None, solo_times, lanes)
 
     def test_rejects_misaligned_inputs(self, estimates):
         solo_times, lanes = estimates
-        with pytest.raises(ValueError, match="align"):
+        with pytest.raises(ConfigError, match="align"):
             route_jobs(2, [0.0], solo_times, lanes)
-        with pytest.raises(ValueError, match="align"):
+        with pytest.raises(ConfigError, match="align"):
             route_jobs(2, None, solo_times, lanes[:-1])
