@@ -254,6 +254,33 @@ SLOWDOWN_SHARD_REASON = (
 )
 
 
+#: Why ``chain_replay`` declines shards with branching pipelines —
+#: quoted verbatim in the forced-backend error.
+NON_CHAIN_SHARD_REASON = (
+    "the shard contains a non-chain pipeline and "
+    "chain_replay only handles all-single-chain shards"
+)
+
+#: Why ``vector_replay`` declines multi-signature shards — formatted
+#: with the shard's super-job count and quoted verbatim in the
+#: forced-backend error.
+CROSS_SIGNATURE_REASON_TEMPLATE = (
+    "cross-signature interleaving: the shard coalesces "
+    "into {count} super-jobs contending on "
+    "shared lanes, and vector_replay needs exactly one "
+    "signature"
+)
+
+#: Why ``vector_replay`` declines shards whose wave recurrence cannot
+#: prove the engine's grant order — quoted verbatim in the
+#: forced-backend error.
+UNPROVABLE_TIE_REASON = (
+    "a same-instant tie (across a wave boundary or a fan-in "
+    "join) requires the engine's banded hop cascade, which "
+    "the wave recurrence cannot reproduce"
+)
+
+
 class ChainReplayBackend:
     """Slim FIFO replay for shards of single connected chains."""
 
@@ -277,10 +304,7 @@ class ChainReplayBackend:
 
     def unsupported_reason(self, executor, shard_jobs) -> str:
         if not self.supports(executor, shard_jobs):
-            return (
-                "the shard contains a non-chain pipeline and "
-                "chain_replay only handles all-single-chain shards"
-            )
+            return NON_CHAIN_SHARD_REASON
         return _ZERO_DURATION_REASON
 
 
@@ -392,11 +416,8 @@ class VectorReplayBackend:
     def unsupported_reason(self, executor, shard_jobs) -> str:
         group_members, _ = _superjob_groups(shard_jobs)
         if len(group_members) != 1:
-            return (
-                "cross-signature interleaving: the shard coalesces "
-                f"into {len(group_members)} super-jobs contending on "
-                "shared lanes, and vector_replay needs exactly one "
-                "signature"
+            return CROSS_SIGNATURE_REASON_TEMPLATE.format(
+                count=len(group_members)
             )
         pipeline, schedule = shard_jobs[0]
         program, _overhead = DagReplayBackend._dag_program(
@@ -404,11 +425,7 @@ class VectorReplayBackend:
         )
         if program is None:
             return _ZERO_DURATION_REASON
-        return (
-            "a same-instant tie (across a wave boundary or a fan-in "
-            "join) requires the engine's banded hop cascade, which "
-            "the wave recurrence cannot reproduce"
-        )
+        return UNPROVABLE_TIE_REASON
 
 
 #: The registry, in selection-preference order.  ``engine`` must stay
