@@ -157,7 +157,7 @@ def build_projectors(cell: Crystal, basis: PlaneWaveBasis) -> list[AtomPseudoBlo
     radial_s = np.exp(-0.5 * _SIGMA_S**2 * g2)
     radial_p = np.exp(-0.5 * _SIGMA_P**2 * g2)
 
-    channels = [radial_s] + [1j * g[:, alpha] * radial_p for alpha in range(3)]
+    channels = [radial_s, *(1j * g[:, alpha] * radial_p for alpha in range(3))]
     coupling = np.array([_D_S, _D_P, _D_P, _D_P])
 
     blocks: list[AtomPseudoBlock] = []

@@ -12,7 +12,7 @@ from repro.core.pipeline import (
 from repro.core.scheduler import Placement, SchedulingPolicy
 from repro.core.trace import build_timeline, validate_timeline
 from repro.dft.workload import problem_size
-from repro.errors import ConfigError
+from repro.errors import ConfigError, SimulationError
 from repro.model import PhaseName
 
 from tests.core.dag_helpers import diamond_pipeline, make_stage
@@ -176,7 +176,7 @@ class TestDagExecutor:
 
 class TestBatchExecutor:
     def test_empty_batch_rejected(self, framework):
-        with pytest.raises(Exception):
+        with pytest.raises(SimulationError, match="at least one job"):
             framework.executor.execute_many([])
 
     def test_mixed_batch_overlaps(self, framework):

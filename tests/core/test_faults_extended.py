@@ -510,8 +510,9 @@ class TestPoissonStatisticalSanity:
         spans = plan.windows_for("ndp")
         assert len(spans) > 1_000
         downs = [end - start for start, end in spans]
-        ups = [spans[0][0]] + [
-            nxt[0] - prev[1] for prev, nxt in zip(spans, spans[1:])
+        ups = [
+            spans[0][0],
+            *(nxt[0] - prev[1] for prev, nxt in zip(spans, spans[1:])),
         ]
         mean_down = sum(downs) / len(downs)
         mean_up = sum(ups) / len(ups)

@@ -55,7 +55,7 @@ class TestStructuralHash:
         skewed_stage = replace(
             stage, function=replace(stage.function, segments=moved)
         )
-        skewed = replace(base, stages=(skewed_stage,) + base.stages[1:])
+        skewed = replace(base, stages=(skewed_stage, *base.stages[1:]))
         assert skewed.structural_hash != base.structural_hash
 
 
