@@ -1,0 +1,107 @@
+"""Import-graph extraction on a synthetic package.
+
+Covers the provenance the rules rely on: module-scope vs lazy
+(function-local) imports, ``if TYPE_CHECKING:`` blocks, relative
+imports at every level, and ``from pkg import name`` resolving to the
+deepest known module.
+"""
+
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.graph import ImportGraph
+from repro.analysis.project import ProjectModel
+from repro.analysis.runner import collect_modules
+
+SYNTHETIC = {
+    "src/pkg/__init__.py": "from pkg import core\n",
+    "src/pkg/core.py": (
+        "import pkg.util\n"
+        "from typing import TYPE_CHECKING\n"
+        "if TYPE_CHECKING:\n"
+        "    from pkg.top import Top\n"
+        "def late():\n"
+        "    from pkg.sub.leaf import leaf\n"
+        "    return leaf\n"
+    ),
+    "src/pkg/util.py": "X = 1\n",
+    "src/pkg/top.py": "from pkg.core import late\nclass Top: pass\n",
+    "src/pkg/sub/__init__.py": "",
+    "src/pkg/sub/leaf.py": (
+        "from .. import util\n"
+        "from ..core import late\n"
+        "from . import helper\n"
+        "def leaf():\n"
+        "    return util.X\n"
+    ),
+    "src/pkg/sub/helper.py": "",
+}
+
+
+@pytest.fixture()
+def graph(tmp_path: Path) -> ImportGraph:
+    for rel, source in SYNTHETIC.items():
+        target = tmp_path / rel
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(source)
+    project = ProjectModel(root=tmp_path)
+    modules = collect_modules(tmp_path, [Path("src")], project)
+    return ImportGraph.build(modules)
+
+
+def edges_to(graph: ImportGraph, source: str) -> dict[str, object]:
+    return {edge.target: edge for edge in graph.imports_of(source)}
+
+
+class TestModuleNames:
+    def test_src_root_is_stripped_and_init_collapses(self, graph):
+        assert set(graph.modules) == {
+            "pkg",
+            "pkg.core",
+            "pkg.util",
+            "pkg.top",
+            "pkg.sub",
+            "pkg.sub.leaf",
+            "pkg.sub.helper",
+        }
+
+
+class TestEdgeProvenance:
+    def test_plain_import_is_not_lazy(self, graph):
+        edge = edges_to(graph, "pkg.core")["pkg.util"]
+        assert not edge.lazy
+        assert not edge.type_checking
+
+    def test_function_local_import_is_lazy(self, graph):
+        edge = edges_to(graph, "pkg.core")["pkg.sub.leaf"]
+        assert edge.lazy
+
+    def test_type_checking_import_is_flagged(self, graph):
+        edge = edges_to(graph, "pkg.core")["pkg.top"]
+        assert edge.type_checking
+        assert not edge.lazy
+
+    def test_from_import_resolves_to_known_module(self, graph):
+        # ``from pkg import core`` targets the submodule, not the package.
+        assert "pkg.core" in edges_to(graph, "pkg")
+
+
+class TestRelativeImports:
+    def test_two_level_relative(self, graph):
+        targets = edges_to(graph, "pkg.sub.leaf")
+        assert "pkg.util" in targets
+        assert "pkg.core" in targets
+
+    def test_one_level_relative(self, graph):
+        assert "pkg.sub.helper" in edges_to(graph, "pkg.sub.leaf")
+
+
+class TestImportersOf:
+    def test_reverse_lookup_skips_type_checking(self, graph):
+        importers = graph.importers_of("pkg.top")
+        # pkg.core only imports pkg.top under TYPE_CHECKING.
+        assert importers == ()
+
+    def test_reverse_lookup_sees_runtime_imports(self, graph):
+        assert "pkg.top" in graph.importers_of("pkg.core")

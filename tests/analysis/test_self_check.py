@@ -1,0 +1,115 @@
+"""The repo passes its own analyzer — with an *empty* baseline — and
+the CLI surface (formats, rule selection, baseline round-trip) works.
+"""
+
+import json
+from pathlib import Path
+
+import pytest
+
+from repro.analysis.runner import (
+    BASELINE_NAME,
+    load_baseline,
+    main,
+    run_analysis,
+)
+
+REPO_ROOT = Path(__file__).resolve().parents[2]
+
+
+class TestSelfCheck:
+    def test_src_repro_is_clean(self):
+        findings = run_analysis(REPO_ROOT, [Path("src")])
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_tests_and_benchmarks_are_clean(self):
+        findings = run_analysis(
+            REPO_ROOT, [Path("src"), Path("tests"), Path("benchmarks")]
+        )
+        assert findings == [], "\n".join(f.render() for f in findings)
+
+    def test_committed_baseline_is_empty(self):
+        baseline = load_baseline(REPO_ROOT / BASELINE_NAME)
+        assert baseline == set()
+
+
+class TestCli:
+    def test_exit_zero_on_clean_repo(self, capsys):
+        assert main(["--root", str(REPO_ROOT)]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_json_format(self, capsys):
+        assert main(["--root", str(REPO_ROOT), "--format", "json"]) == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["count"] == 0
+        assert set(payload["rules"]) == {
+            "layering",
+            "determinism",
+            "backend-contract",
+            "slots",
+            "error-discipline",
+        }
+
+    def test_rule_selection(self, capsys):
+        code = main(
+            ["--root", str(REPO_ROOT), "--format", "json", "--rules", "slots"]
+        )
+        assert code == 0
+        assert json.loads(capsys.readouterr().out)["rules"] == ["slots"]
+
+    def test_unknown_rule_id_is_usage_error(self, capsys):
+        assert main(["--root", str(REPO_ROOT), "--rules", "nope"]) == 2
+        assert "unknown rule id" in capsys.readouterr().err
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert main(["--root", str(REPO_ROOT), "no/such/dir"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+
+@pytest.fixture()
+def violating_repo(tmp_path: Path) -> Path:
+    bad = tmp_path / "src" / "repro" / "fleet" / "bad.py"
+    bad.parent.mkdir(parents=True)
+    bad.write_text(
+        "def f(x):\n"
+        "    if not x:\n"
+        "        raise ValueError('no jobs')\n"
+    )
+    return tmp_path
+
+
+class TestBaselineRoundTrip:
+    def test_findings_fail_then_baseline_suppresses(
+        self, violating_repo, capsys
+    ):
+        root = str(violating_repo)
+        assert main(["--root", root]) == 1
+        out = capsys.readouterr().out
+        assert "error-discipline" in out
+
+        assert main(["--root", root, "--write-baseline"]) == 0
+        capsys.readouterr()
+
+        assert main(["--root", root]) == 0
+        assert "1 suppressed by baseline" in capsys.readouterr().out
+
+    def test_json_report_written_to_output_file(
+        self, violating_repo, capsys
+    ):
+        root = str(violating_repo)
+        report = violating_repo / "report.json"
+        code = main(
+            [
+                "--root",
+                root,
+                "--format",
+                "json",
+                "--output",
+                str(report),
+            ]
+        )
+        assert code == 1
+        capsys.readouterr()
+        payload = json.loads(report.read_text())
+        assert payload["count"] == 1
+        assert payload["findings"][0]["rule"] == "error-discipline"
